@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures (in fast mode by default so the whole harness runs in minutes) and
+benchmarks the end-to-end generation.  The rendered tables are printed so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as a report.
+"""
+
+import pytest
+
+from repro.experiments import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Clear the memoised compilations so each benchmark measures real work."""
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_once(benchmark, fn, *args):
+    """Benchmark one expensive generation exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

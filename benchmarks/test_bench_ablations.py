@@ -1,0 +1,17 @@
+"""Benchmark: ablations of the compiler's design choices."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark):
+    table = run_once(benchmark, ablations.run, True)
+    print()
+    print(table.to_text())
+    # The full compiler is never worse than the no-elimination variant.
+    for model in {row["model"] for row in table.rows}:
+        rows = {r["variant"]: r for r in table.rows if r["model"] == model}
+        assert rows["full"]["exec_time_d"] <= (
+            rows["no-move-elimination"]["exec_time_d"] + 1e-6
+        )

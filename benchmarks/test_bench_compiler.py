@@ -1,0 +1,38 @@
+"""Micro-benchmarks of the compiler stages themselves."""
+
+import pytest
+
+from repro.arch.layout import build_layout
+from repro.compiler.pipeline import compile_circuit
+from repro.ir.dag import DagCircuit
+from repro.synthesis.ppr import transpile_to_ppr
+from repro.workloads import heisenberg_2d, ising_2d
+
+
+def test_bench_compile_ising_4x4(benchmark):
+    result = benchmark(lambda: compile_circuit(ising_2d(4), routing_paths=4))
+    assert result.execution_time > 0
+
+
+def test_bench_compile_heisenberg_4x4(benchmark):
+    result = benchmark(
+        lambda: compile_circuit(heisenberg_2d(4), routing_paths=6)
+    )
+    assert result.execution_time > 0
+
+
+def test_bench_layout_construction(benchmark):
+    layout = benchmark(lambda: build_layout(100, 10))
+    assert layout.total_qubits == 225
+
+
+def test_bench_dag_construction(benchmark):
+    circuit = heisenberg_2d(10)
+    dag = benchmark(lambda: DagCircuit(circuit))
+    assert len(dag) == len(circuit)
+
+
+def test_bench_ppr_transpile(benchmark):
+    circuit = ising_2d(10)
+    program = benchmark(lambda: transpile_to_ppr(circuit))
+    assert program.t_rotation_count == circuit.count("rz")

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (time vs qubits across sizes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    table = run_once(benchmark, fig11.run, True)
+    print()
+    print(table.to_text())
+    # Paper shape: our smallest layout always beats the blocks on qubits.
+    for size in {row["size"] for row in table.rows}:
+        ours = [r["qubits"] for r in table.rows
+                if r["size"] == size and str(r["scheme"]).startswith("ours")]
+        blocks = [r["qubits"] for r in table.rows
+                  if r["size"] == size and "litinski" in str(r["scheme"])]
+        assert min(ours) < min(blocks)

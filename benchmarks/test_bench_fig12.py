@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (time vs qubits over the full r sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    table = run_once(benchmark, fig12.run, True)
+    print()
+    print(table.to_text())
+    ours = [r for r in table.rows if str(r["scheme"]).startswith("ours")]
+    assert ours, "sweep produced no rows"

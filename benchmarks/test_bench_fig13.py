@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 13 (comparison with LSQCA Line SAM)."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    table = run_once(benchmark, fig13.run, True)
+    print()
+    print(table.to_text())
+    # Paper shape: geomean spacetime ratio (Line SAM / ours) > 1.
+    log_sum, count = 0.0, 0
+    for name in {row["benchmark"] for row in table.rows}:
+        ours = next(r for r in table.rows
+                    if r["benchmark"] == name and str(r["scheme"]).startswith("ours"))
+        line = next(r for r in table.rows
+                    if r["benchmark"] == name and "lsqca" in str(r["scheme"]))
+        log_sum += math.log(line["spacetime_volume"] / ours["spacetime_volume"])
+        count += 1
+    assert math.exp(log_sum / count) > 1.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 14 (CPI vs factories and distill time)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark):
+    table = run_once(benchmark, fig14.run, True)
+    print()
+    print(table.to_text())
+    print()
+    print(fig14.run_distill_sweep(True).to_text())
+    # Paper shape: our CPI improves more than Line SAM's with 4 factories.
+    for model in {row["model"] for row in table.rows}:
+        ours = sorted((r for r in table.rows
+                       if r["model"] == model and r["scheme"] == "ours"),
+                      key=lambda r: r["factories"])
+        line = sorted((r for r in table.rows
+                       if r["model"] == model and "lsqca" in str(r["scheme"])),
+                      key=lambda r: r["factories"])
+        assert ours[0]["cpi"] / ours[-1]["cpi"] >= line[0]["cpi"] / line[-1]["cpi"] * 0.9

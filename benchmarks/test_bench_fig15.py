@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 15 (comparison with DASCOT)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(benchmark):
+    table = run_once(benchmark, fig15.run, True)
+    print()
+    print(table.to_text())
+    for model in {row["model"] for row in table.rows}:
+        assert fig15.dascot_ratio_at_one_factory(table, model) > 1.0

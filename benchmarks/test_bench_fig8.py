@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (execution time vs lower bound)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    table = run_once(benchmark, fig8.run, True)
+    print()
+    print(table.to_text())
+    # Paper shape: every benchmark sits within ~1.5x of the Eq. 2 bound.
+    for row in table.rows:
+        if row["lower_bound_d"]:
+            assert row["exec_vs_bound"] < 2.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9 (spacetime vs factories, per r)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    table = run_once(benchmark, fig9.run, True)
+    print()
+    print(table.to_text())
+    best = fig9.optimal_factories(table)
+    # Paper shape: the optimal factory count never decreases as r grows.
+    for model in {row["model"] for row in table.rows}:
+        per_r = sorted(
+            (r, best[(model, r)]) for (m, r) in best if m == model
+        )
+        firsts, lasts = per_r[0][1], per_r[-1][1]
+        assert lasts >= firsts

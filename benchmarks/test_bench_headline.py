@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the abstract's headline claims."""
+
+from conftest import run_once
+
+from repro.experiments import headline
+
+
+def test_bench_headline(benchmark):
+    table = run_once(benchmark, headline.run, True)
+    print()
+    print(table.to_text())
+    assert len(table.rows) == 4

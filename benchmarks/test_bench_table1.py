@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (benchmark gate counts)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    table = run_once(benchmark, table1.run, True)
+    print()
+    print(table.to_text())
+    assert table.column("matches_paper") == ["yes"] * 6

@@ -1,0 +1,60 @@
+"""Space-time tradeoff exploration for a condensed-matter workload.
+
+Reproduces the core capability of the paper (Figs. 9, 11, 12): sweep the
+layout's routing paths and factory count for a Hamiltonian-simulation
+circuit, print the full qubits/time frontier, and report the spacetime-
+optimal configuration — the decision a hardware designer with a fixed
+qubit budget would make.
+
+Run with::
+
+    python examples/condensed_matter_tradeoff.py [side]
+"""
+
+import sys
+
+from repro import CompilerConfig, FaultTolerantCompiler
+from repro.arch.layout import max_routing_paths, paper_r_values
+from repro.metrics.report import Table
+from repro.workloads import heisenberg_2d
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    circuit = heisenberg_2d(side)
+    print("workload:", circuit.summary())
+    print(f"max routing paths for k={side}: {max_routing_paths(side)}")
+    print()
+
+    table = Table(
+        title=f"space-time frontier — heisenberg {side}x{side}",
+        columns=["r", "factories", "qubits", "time_d", "x_bound", "spacetime"],
+    )
+    best = None
+    for r in paper_r_values(side):
+        for factories in (1, 2, 4):
+            config = CompilerConfig(routing_paths=r, num_factories=factories)
+            result = FaultTolerantCompiler(config).compile(circuit)
+            volume = result.spacetime_volume(include_factories=True)
+            table.add_row(
+                r=r,
+                factories=factories,
+                qubits=result.total_qubits,
+                time_d=result.execution_time,
+                x_bound=result.time_vs_lower_bound,
+                spacetime=volume,
+            )
+            if best is None or volume < best[0]:
+                best = (volume, r, factories, result)
+    print(table.to_text())
+    print()
+    __, r, factories, result = best
+    print(
+        f"spacetime-optimal configuration: r={r}, {factories} factories "
+        f"-> {result.total_qubits} qubits x {result.execution_time:.0f}d "
+        f"({result.time_vs_lower_bound:.2f}x the distillation bound)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Distillation-adaptive provisioning: find the right factory count.
+
+Reproduces the paper's Fig. 9 reasoning on one workload: for each layout
+the spacetime volume is U-shaped in the number of factories — too few and
+runtime dominates, too many and the qubit overhead does.  The example also
+compares against the three baseline compilers at the chosen design point.
+
+Run with::
+
+    python examples/distillation_sweep.py
+"""
+
+from repro import CompilerConfig, FaultTolerantCompiler
+from repro.baselines import (
+    evaluate_block,
+    evaluate_dascot,
+    evaluate_line_sam,
+    fast_block,
+)
+from repro.metrics.report import Table
+from repro.workloads import fermi_hubbard_2d
+
+
+def sweep(circuit, routing_paths, factory_range):
+    rows = []
+    for factories in factory_range:
+        config = CompilerConfig(routing_paths=routing_paths, num_factories=factories)
+        result = FaultTolerantCompiler(config).compile(circuit)
+        rows.append((factories, result))
+    return rows
+
+
+def main() -> None:
+    circuit = fermi_hubbard_2d(4)
+    print("workload:", circuit.summary())
+    print()
+
+    table = Table(
+        title="factory sweep — fermi-hubbard 4x4",
+        columns=["r", "factories", "time_d", "total_qubits", "spacetime_per_op"],
+        notes=["U-shaped per r; the minimum shifts right as r grows"],
+    )
+    best = None
+    for r in (3, 4, 6):
+        for factories, result in sweep(circuit, r, (1, 2, 3, 4, 6)):
+            volume = result.spacetime_volume_per_op(True)
+            table.add_row(
+                r=r,
+                factories=factories,
+                time_d=result.execution_time,
+                total_qubits=result.total_qubits,
+                spacetime_per_op=volume,
+            )
+            if best is None or volume < best[0]:
+                best = (volume, r, factories, result)
+    print(table.to_text())
+
+    __, r, factories, ours = best
+    print()
+    print(f"chosen design point: r={r}, {factories} factories")
+    print()
+
+    comparison = Table(
+        title="baseline comparison at one factory",
+        columns=["scheme", "qubits", "time_d", "spacetime"],
+    )
+    one_factory = next(res for f, res in sweep(circuit, r, (1,)) if f == 1)
+    comparison.add_row(
+        scheme=f"ours (r={r})",
+        qubits=one_factory.total_qubits,
+        time_d=one_factory.execution_time,
+        spacetime=one_factory.spacetime_volume(True),
+    )
+    for baseline in (
+        evaluate_block(circuit, fast_block(), num_factories=1),
+        evaluate_line_sam(circuit, num_factories=1),
+        evaluate_dascot(circuit, num_factories=1),
+    ):
+        comparison.add_row(
+            scheme=baseline.name,
+            qubits=baseline.total_qubits,
+            time_d=baseline.execution_time,
+            spacetime=baseline.spacetime_volume(True),
+        )
+    print(comparison.to_text())
+
+
+if __name__ == "__main__":
+    main()

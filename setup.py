@@ -1,0 +1,5 @@
+"""Legacy setup shim (the offline environment lacks the wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — Space-Time Optimisations for Early Fault-Tolerant Quantum Computation.
+
+A from-scratch reproduction of the CGO 2026 paper by Sharma & Murali: a
+lattice-surgery compiler for early fault-tolerant quantum computers with
+distillation-adaptive layouts and greedy routing heuristics, plus every
+substrate and baseline its evaluation depends on.
+
+Quickstart::
+
+    from repro import compile_circuit
+    from repro.workloads import ising_2d
+
+    result = compile_circuit(ising_2d(4), routing_paths=4, num_factories=1)
+    print(result.summary())
+"""
+
+from .arch import InstructionSet, Layout, build_layout
+from .compiler import CompilationResult, CompilerConfig, FaultTolerantCompiler, compile_circuit
+from .ir import Circuit, DagCircuit, Gate
+from .synthesis import PauliString, SynthesisModel, transpile_to_ppr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CompilationResult",
+    "CompilerConfig",
+    "DagCircuit",
+    "FaultTolerantCompiler",
+    "Gate",
+    "InstructionSet",
+    "Layout",
+    "PauliString",
+    "SynthesisModel",
+    "build_layout",
+    "compile_circuit",
+    "transpile_to_ppr",
+    "__version__",
+]

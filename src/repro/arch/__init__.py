@@ -1,0 +1,35 @@
+"""Architecture substrate: logical grid, layouts, latencies, factories."""
+
+from .factory import Factory, FactoryBank, FactoryConfig
+from .grid import Cell, CellRole, Grid, GridError, Position
+from .instruction_set import IN_PLACE, NEEDS_ANCILLA, InstructionSet
+from .layout import (
+    Layout,
+    LayoutError,
+    assign_factory_ports,
+    build_layout,
+    layout_family,
+    max_routing_paths,
+    paper_r_values,
+)
+
+__all__ = [
+    "Cell",
+    "CellRole",
+    "Factory",
+    "FactoryBank",
+    "FactoryConfig",
+    "Grid",
+    "GridError",
+    "IN_PLACE",
+    "InstructionSet",
+    "Layout",
+    "LayoutError",
+    "NEEDS_ANCILLA",
+    "Position",
+    "assign_factory_ports",
+    "build_layout",
+    "layout_family",
+    "max_routing_paths",
+    "paper_r_values",
+]

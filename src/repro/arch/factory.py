@@ -1,0 +1,139 @@
+"""Magic state distillation factory model (15-to-1, Sec. II-C).
+
+Each factory pipelines 15-to-1 distillation rounds: one high-fidelity T
+state emerges every ``distill`` timesteps (11d by default).  Produced states
+wait in a small output buffer at the factory's port until the scheduler
+routes them to a consumer; a full buffer stalls the pipeline, which is one
+of the congestion effects behind the U-shaped curves of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .grid import Position
+
+
+@dataclass
+class FactoryConfig:
+    """Static parameters of one distillation factory.
+
+    Attributes:
+        distill_time: timesteps per distilled state (11d in the paper).
+        buffer_capacity: states that may wait at the output port.
+        area: logical patches the factory occupies (counted in spacetime
+            volume when the metric "includes magic states").
+    """
+
+    distill_time: float = 11.0
+    buffer_capacity: int = 2
+    area: int = 16
+
+    def __post_init__(self) -> None:
+        if self.distill_time <= 0:
+            raise ValueError("distill_time must be positive")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        if self.area < 1:
+            raise ValueError("factory area must be >= 1")
+
+
+@dataclass
+class Factory:
+    """One pipelined distillation factory attached to a grid port.
+
+    Bounded-buffer pipeline semantics: the distillation unit finishes one
+    state every ``distill_time``; a finished state moves to the output
+    buffer (capacity ``buffer_capacity``), and when the buffer is full the
+    completed state waits *in the unit*, stalling the next round until a
+    collection frees a slot.  Hence state ``k`` (0-based) completes at::
+
+        finish(k) = max(finish(k-1), collect_time(k-1-capacity)) + distill
+
+    which gives full-rate production (one state per 11d) when consumers
+    keep up and back-pressure when they do not.
+    """
+
+    index: int
+    port: Position
+    config: FactoryConfig
+    _last_finish: float = 0.0
+    _collect_times: List[float] = field(default_factory=list)
+    produced: int = 0
+    collected: int = 0
+
+    def _next_finish(self) -> float:
+        """Completion time of the next uncollected state."""
+        k = self.collected
+        gate_index = k - 1 - self.config.buffer_capacity
+        gated = self._collect_times[gate_index] if gate_index >= 0 else 0.0
+        return max(self._last_finish, gated) + self.config.distill_time
+
+    def next_state_ready(self) -> float:
+        """Completion time of the next state if collected from this factory."""
+        return self._next_finish()
+
+    def collect(self, now: float) -> float:
+        """Take one state; returns the time at which it is available.
+
+        ``now`` is the earliest time the consumer could take the state; the
+        returned availability is ``max(now, finish)``.  Collections must be
+        issued in scheduling order (the scheduler's single-threaded loop
+        guarantees this).
+        """
+        finish = self._next_finish()
+        self._last_finish = finish
+        available = max(now, finish)
+        self._collect_times.append(available)
+        self.collected += 1
+        self.produced += 1
+        return available
+
+    @property
+    def area(self) -> int:
+        return self.config.area
+
+
+class FactoryBank:
+    """A pool of factories; consumers take the earliest-available state.
+
+    This is the ``n_MSF`` knob of Eq. 2: with ``n`` factories the aggregate
+    throughput is ``n / distill_time`` states per timestep.
+    """
+
+    def __init__(self, ports: List[Position], config: Optional[FactoryConfig] = None) -> None:
+        if not ports:
+            raise ValueError("a factory bank needs at least one port")
+        self.config = config or FactoryConfig()
+        self.factories = [
+            Factory(index=i, port=port, config=self.config)
+            for i, port in enumerate(ports)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.factories)
+
+    def acquire(self, now: float) -> Tuple[float, Factory]:
+        """Collect a state from the factory that can deliver soonest.
+
+        Returns:
+            (availability_time, factory) — the caller then routes the state
+            from ``factory.port``.
+        """
+        best = min(self.factories, key=lambda f: (max(now, f.next_state_ready()), f.index))
+        ready = best.collect(now)
+        return ready, best
+
+    @property
+    def total_area(self) -> int:
+        """Logical patches across all factories (for spacetime accounting)."""
+        return sum(f.area for f in self.factories)
+
+    @property
+    def states_collected(self) -> int:
+        return sum(f.collected for f in self.factories)
+
+    def throughput_bound(self, n_t_states: int) -> float:
+        """Eq. 2 lower bound: ``n_T * t_MSF / n_MSF``."""
+        return n_t_states * self.config.distill_time / len(self.factories)

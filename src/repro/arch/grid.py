@@ -1,0 +1,199 @@
+"""2D grid of logical surface-code patches with occupancy tracking.
+
+Each cell of the grid holds one logical qubit patch (Fig. 1b of the paper).
+Cells are classified by *role* — data sites, bus/ancilla sites forming
+routing paths, factory sites and factory output ports — and carry a dynamic
+*occupancy* (which program qubit, if any, currently lives there).
+
+Coordinates are ``(row, col)`` with row 0 at the top, matching the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+Position = Tuple[int, int]
+
+
+class CellRole(str, Enum):
+    """Static classification of a grid cell."""
+
+    DATA = "data"          # reserved for program data qubits
+    BUS = "bus"            # routing path / operational ancilla
+    FACTORY = "factory"    # body of a magic state distillation factory
+    PORT = "port"          # factory output port (states emerge here)
+    VOID = "void"          # outside the usable layout
+
+
+@dataclass
+class Cell:
+    """One logical patch: static role plus dynamic occupant."""
+
+    position: Position
+    role: CellRole
+    occupant: Optional[int] = None  # program qubit id, or None
+
+    @property
+    def is_free(self) -> bool:
+        """A cell is free when nothing occupies it and it is routable."""
+        return self.occupant is None and self.role in (CellRole.BUS, CellRole.DATA)
+
+
+class GridError(RuntimeError):
+    """Raised on invalid grid operations (e.g. moving onto an occupied cell)."""
+
+
+class Grid:
+    """Rectangular grid of :class:`Cell` with qubit placement bookkeeping."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self._cells: Dict[Position, Cell] = {
+            (r, c): Cell((r, c), CellRole.BUS)
+            for r in range(rows)
+            for c in range(cols)
+        }
+        self._qubit_position: Dict[int, Position] = {}
+
+    # -- basic access ---------------------------------------------------------
+
+    def __contains__(self, pos: Position) -> bool:
+        return pos in self._cells
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def cell(self, pos: Position) -> Cell:
+        try:
+            return self._cells[pos]
+        except KeyError as exc:
+            raise GridError(f"position {pos} outside {self.rows}x{self.cols} grid") from exc
+
+    def set_role(self, pos: Position, role: CellRole) -> None:
+        """Assign the static role of a cell (layout construction only)."""
+        self.cell(pos).role = role
+
+    def role(self, pos: Position) -> CellRole:
+        return self.cell(pos).role
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def cells_with_role(self, role: CellRole) -> List[Position]:
+        """All positions having ``role``, row-major sorted."""
+        return sorted(p for p, cell in self._cells.items() if cell.role == role)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def neighbors(self, pos: Position) -> List[Position]:
+        """4-connected neighbours inside the grid."""
+        r, c = pos
+        candidates = [(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
+        return [p for p in candidates if p in self._cells]
+
+    def diagonal_neighbors(self, pos: Position) -> List[Position]:
+        """The four diagonal neighbours inside the grid."""
+        r, c = pos
+        candidates = [(r - 1, c - 1), (r - 1, c + 1), (r + 1, c - 1), (r + 1, c + 1)]
+        return [p for p in candidates if p in self._cells]
+
+    @staticmethod
+    def manhattan(a: Position, b: Position) -> int:
+        """Manhattan distance d(a, b) used by the routing cost function."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @staticmethod
+    def are_diagonal(a: Position, b: Position) -> bool:
+        """True when the two cells touch at a corner only."""
+        return abs(a[0] - b[0]) == 1 and abs(a[1] - b[1]) == 1
+
+    @staticmethod
+    def between_diagonal(a: Position, b: Position) -> List[Position]:
+        """The two cells completing the 2x2 square of a diagonal pair."""
+        if not Grid.are_diagonal(a, b):
+            raise GridError(f"cells {a} and {b} are not diagonal")
+        return [(a[0], b[1]), (b[0], a[1])]
+
+    # -- occupancy -------------------------------------------------------------
+
+    def place(self, qubit: int, pos: Position) -> None:
+        """Put program qubit ``qubit`` on ``pos`` (must be empty)."""
+        cell = self.cell(pos)
+        if cell.occupant is not None:
+            raise GridError(f"cell {pos} already occupied by qubit {cell.occupant}")
+        if qubit in self._qubit_position:
+            raise GridError(f"qubit {qubit} already placed")
+        cell.occupant = qubit
+        self._qubit_position[qubit] = pos
+
+    def remove(self, qubit: int) -> Position:
+        """Remove a qubit from the grid, returning its last position."""
+        pos = self.position_of(qubit)
+        self.cell(pos).occupant = None
+        del self._qubit_position[qubit]
+        return pos
+
+    def move(self, qubit: int, dest: Position) -> Position:
+        """Relocate a qubit to an empty cell; returns the origin position."""
+        origin = self.position_of(qubit)
+        dest_cell = self.cell(dest)
+        if dest_cell.occupant is not None:
+            raise GridError(
+                f"cannot move qubit {qubit} onto occupied cell {dest} "
+                f"(holds {dest_cell.occupant})"
+            )
+        self.cell(origin).occupant = None
+        dest_cell.occupant = qubit
+        self._qubit_position[qubit] = dest
+        return origin
+
+    def position_of(self, qubit: int) -> Position:
+        try:
+            return self._qubit_position[qubit]
+        except KeyError as exc:
+            raise GridError(f"qubit {qubit} is not placed") from exc
+
+    def occupant(self, pos: Position) -> Optional[int]:
+        return self.cell(pos).occupant
+
+    def is_occupied(self, pos: Position) -> bool:
+        return self.cell(pos).occupant is not None
+
+    def occupied_positions(self) -> Set[Position]:
+        return set(self._qubit_position.values())
+
+    def placed_qubits(self) -> Dict[int, Position]:
+        """Snapshot of qubit -> position."""
+        return dict(self._qubit_position)
+
+    def free_neighbors(self, pos: Position) -> List[Position]:
+        """Adjacent cells that can host an ancilla right now."""
+        return [
+            p
+            for p in self.neighbors(pos)
+            if not self.is_occupied(p) and self.role(p) in (CellRole.BUS, CellRole.DATA)
+        ]
+
+    def routable(self, pos: Position) -> bool:
+        """Cells magic states / moves may traverse (not factory interiors)."""
+        return self.role(pos) in (CellRole.BUS, CellRole.DATA, CellRole.PORT)
+
+    def parkable(self, pos: Position) -> bool:
+        """Cells where a data qubit may come to rest (ports are transit-only)."""
+        return self.role(pos) in (CellRole.BUS, CellRole.DATA)
+
+    def clone(self) -> "Grid":
+        """Deep copy used by what-if searches (space search look-ahead)."""
+        dup = Grid(self.rows, self.cols)
+        for pos, cell in self._cells.items():
+            dup._cells[pos].role = cell.role
+            dup._cells[pos].occupant = cell.occupant
+        dup._qubit_position = dict(self._qubit_position)
+        return dup

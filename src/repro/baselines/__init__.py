@@ -1,0 +1,35 @@
+"""Baseline compiler models used by the paper's evaluation."""
+
+from .common import BaselineResult
+from .dascot import UNLIMITED, DascotConfig, dascot_qubits, evaluate_dascot, factory_sweep
+from .litinski import (
+    BlockLayout,
+    compact_block,
+    evaluate_all_blocks,
+    evaluate_block,
+    fast_block,
+    intermediate_block,
+)
+from .lower_bound import circuit_lower_bound, distillation_lower_bound
+from .lsqca import LineSamConfig, evaluate_line_sam, evaluate_point_sam, line_sam_qubits
+
+__all__ = [
+    "BaselineResult",
+    "BlockLayout",
+    "DascotConfig",
+    "LineSamConfig",
+    "UNLIMITED",
+    "circuit_lower_bound",
+    "compact_block",
+    "dascot_qubits",
+    "distillation_lower_bound",
+    "evaluate_all_blocks",
+    "evaluate_block",
+    "evaluate_dascot",
+    "evaluate_line_sam",
+    "evaluate_point_sam",
+    "factory_sweep",
+    "fast_block",
+    "intermediate_block",
+    "line_sam_qubits",
+]

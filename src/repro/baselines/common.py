@@ -1,0 +1,57 @@
+"""Shared result type for baseline compiler models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Uniform metrics record for a baseline compilation estimate.
+
+    Mirrors the metric surface of
+    :class:`~repro.compiler.result.CompilationResult` so experiment tables
+    can mix our compiler with the baseline models.
+
+    Attributes:
+        name: baseline identifier (e.g. "litinski-fast", "lsqca-line-sam").
+        circuit_name: benchmark compiled.
+        compute_qubits: logical qubits excluding factories.
+        factory_qubits: total logical patches in distillation factories.
+        execution_time: makespan in units of d.
+        num_operations: input operation count (for CPI / per-op metrics).
+        t_states: magic states consumed.
+        num_factories: factories assumed (0 denotes "unlimited").
+        lower_bound: Eq. 2 bound for this configuration (0 when unlimited).
+    """
+
+    name: str
+    circuit_name: str
+    compute_qubits: int
+    factory_qubits: int
+    execution_time: float
+    num_operations: int
+    t_states: int
+    num_factories: int
+    lower_bound: float
+
+    @property
+    def total_qubits(self) -> int:
+        return self.compute_qubits + self.factory_qubits
+
+    def spacetime_volume(self, include_factories: bool = True) -> float:
+        qubits = self.total_qubits if include_factories else self.compute_qubits
+        return qubits * self.execution_time
+
+    def spacetime_volume_per_op(self, include_factories: bool = True) -> float:
+        return self.spacetime_volume(include_factories) / max(1, self.num_operations)
+
+    @property
+    def cpi(self) -> float:
+        return self.execution_time / max(1, self.num_operations)
+
+    @property
+    def time_vs_lower_bound(self) -> float:
+        if self.lower_bound <= 0:
+            return 1.0
+        return self.execution_time / self.lower_bound

@@ -1,0 +1,43 @@
+"""Theoretical lower bound on execution time (paper Eq. 2).
+
+``l = n_T * t_MSF / n_MSF`` — the time to *produce* all required magic
+states with the provisioned factories, assuming distillation is the only
+bottleneck and every other operation is perfectly hidden.
+"""
+
+from __future__ import annotations
+
+from ..ir.circuit import Circuit
+from ..synthesis.clifford_t import SynthesisModel
+
+
+def distillation_lower_bound(
+    n_t_states: int, distill_time: float, num_factories: int
+) -> float:
+    """Eq. 2: ``n_T * t_MSF / n_MSF`` in units of d.
+
+    Args:
+        n_t_states: magic states the program consumes (n_T).
+        distill_time: processing time per state (t_MSF, 11d default).
+        num_factories: provisioned factories (n_MSF).
+    """
+    if num_factories < 1:
+        raise ValueError("need at least one factory")
+    if distill_time <= 0:
+        raise ValueError("distillation time must be positive")
+    if n_t_states < 0:
+        raise ValueError("negative T count")
+    return n_t_states * distill_time / num_factories
+
+
+def circuit_lower_bound(
+    circuit: Circuit,
+    distill_time: float = 11.0,
+    num_factories: int = 1,
+    synthesis: SynthesisModel = None,
+) -> float:
+    """Eq. 2 evaluated directly on a circuit."""
+    model = synthesis or SynthesisModel.single_t()
+    return distillation_lower_bound(
+        model.circuit_t_count(circuit), distill_time, num_factories
+    )

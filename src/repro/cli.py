@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro compile program.qasm --routing-paths 4 --factories 1
+    python -m repro benchmark ising_2d_4x4 -r 3 -r 6
+    python -m repro experiment fig9 --fast
+    python -m repro list
+
+The CLI is intentionally thin: it parses arguments, calls the library and
+prints the same text tables the experiment harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .compiler.config import CompilerConfig
+from .compiler.pipeline import FaultTolerantCompiler
+from .experiments import ALL_EXPERIMENTS
+from .ir import qasm
+from .ir.passes import optimize
+from .metrics.report import Table
+from .workloads import benchmark_names, load_benchmark
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Early-FTQC lattice-surgery compiler (CGO 2026 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile an OpenQASM 2 file")
+    compile_cmd.add_argument("qasm_file")
+    compile_cmd.add_argument("--routing-paths", "-r", type=int, default=4)
+    compile_cmd.add_argument("--factories", "-f", type=int, default=1)
+    compile_cmd.add_argument("--unit-cost", action="store_true",
+                             help="also compute the unit-cost time")
+    compile_cmd.add_argument("--optimize", action="store_true",
+                             help="run the front-end cleanup passes first")
+
+    bench_cmd = sub.add_parser("benchmark", help="compile a named benchmark")
+    bench_cmd.add_argument("name", help="e.g. ising_2d_4x4 (see `repro list`)")
+    bench_cmd.add_argument("--routing-paths", "-r", type=int, action="append",
+                           help="repeatable; default sweeps 3,4,6")
+    bench_cmd.add_argument("--factories", "-f", type=int, default=1)
+
+    exp_cmd = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp_cmd.add_argument("figure", choices=sorted(ALL_EXPERIMENTS))
+    exp_cmd.add_argument("--fast", action="store_true",
+                         help="4x4 lattices instead of the paper's 10x10")
+
+    sub.add_parser("list", help="list available benchmarks and experiments")
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    circuit = qasm.load_file(args.qasm_file)
+    if args.optimize:
+        before = len(circuit)
+        circuit = optimize(circuit)
+        print(f"optimised: {before} -> {len(circuit)} gates")
+    config = CompilerConfig(
+        routing_paths=args.routing_paths,
+        num_factories=args.factories,
+        compute_unit_cost_time=args.unit_cost,
+    )
+    result = FaultTolerantCompiler(config).compile(circuit)
+    print(result.summary())
+    return 0
+
+
+def _cmd_benchmark(args) -> int:
+    circuit = load_benchmark(args.name)
+    sweep = args.routing_paths or [3, 4, 6]
+    table = Table(
+        title=f"{args.name} ({args.factories} factories)",
+        columns=["r", "qubits", "time_d", "x_bound", "spacetime", "moves"],
+    )
+    for r in sweep:
+        config = CompilerConfig(routing_paths=r, num_factories=args.factories)
+        result = FaultTolerantCompiler(config).compile(circuit)
+        table.add_row(
+            r=r,
+            qubits=result.total_qubits,
+            time_d=result.execution_time,
+            x_bound=result.time_vs_lower_bound,
+            spacetime=result.spacetime_volume(True),
+            moves=result.schedule.num_moves,
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    table = ALL_EXPERIMENTS[args.figure](args.fast)
+    print(table.to_text())
+    return 0
+
+
+def _cmd_list() -> int:
+    print("benchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    print("experiments:")
+    for name in sorted(ALL_EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "benchmark":
+        return _cmd_benchmark(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""End-to-end early-FTQC compiler pipeline."""
+
+from .config import CompilerConfig
+from .mapping import MappingError, choose_mapping, grid_mapping, snake_mapping
+from .pipeline import FaultTolerantCompiler, compile_circuit
+from .result import CompilationResult
+
+__all__ = [
+    "CompilationResult",
+    "CompilerConfig",
+    "FaultTolerantCompiler",
+    "MappingError",
+    "choose_mapping",
+    "compile_circuit",
+    "grid_mapping",
+    "snake_mapping",
+]

@@ -1,0 +1,77 @@
+"""Initial static mapping of program qubits onto layout data slots (Sec. V).
+
+The paper assigns a static mapping aligned with the application's gate
+dependencies: 2D condensed-matter circuits map row-major onto the data grid
+(preserving the Hamiltonians' nearest-neighbour structure) while 1D chains
+use a snake mapping so consecutive program qubits stay grid-adjacent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..arch.grid import Position
+from ..arch.layout import Layout
+from ..ir.circuit import Circuit
+from ..ir.properties import interaction_graph
+
+
+class MappingError(ValueError):
+    """Raised when a circuit does not fit the layout."""
+
+
+def grid_mapping(circuit: Circuit, layout: Layout) -> Dict[int, Position]:
+    """Row-major identity mapping: program qubit i -> data slot i."""
+    if circuit.num_qubits > len(layout.data_slots):
+        raise MappingError(
+            f"circuit has {circuit.num_qubits} qubits, layout only "
+            f"{len(layout.data_slots)} data slots"
+        )
+    return {q: layout.data_slots[q] for q in range(circuit.num_qubits)}
+
+
+def snake_mapping(circuit: Circuit, layout: Layout) -> Dict[int, Position]:
+    """Boustrophedon mapping: consecutive program qubits grid-adjacent.
+
+    Data slots are row-major; the snake reverses every other data row so a
+    1D chain winds through the block (paper: "a 1D Ising model benefits
+    from a snake-like mapping").
+    """
+    if circuit.num_qubits > len(layout.data_slots):
+        raise MappingError(
+            f"circuit has {circuit.num_qubits} qubits, layout only "
+            f"{len(layout.data_slots)} data slots"
+        )
+    rows: Dict[int, List[Position]] = {}
+    for pos in layout.data_slots:
+        rows.setdefault(pos[0], []).append(pos)
+    ordered: List[Position] = []
+    for i, row in enumerate(sorted(rows)):
+        cells = sorted(rows[row])
+        if i % 2 == 1:
+            cells.reverse()
+        ordered.extend(cells)
+    return {q: ordered[q] for q in range(circuit.num_qubits)}
+
+
+def _looks_one_dimensional(circuit: Circuit) -> bool:
+    """True when two-qubit gates overwhelmingly couple chain neighbours."""
+    graph = interaction_graph(circuit)
+    if not graph:
+        return False
+    total = sum(graph.values())
+    chain = sum(w for (a, b), w in graph.items() if b - a == 1)
+    return chain / total >= 0.9
+
+
+def choose_mapping(circuit: Circuit, layout: Layout, strategy: str = "auto") -> Dict[int, Position]:
+    """Select the initial placement per the configured strategy."""
+    if strategy == "grid":
+        return grid_mapping(circuit, layout)
+    if strategy == "snake":
+        return snake_mapping(circuit, layout)
+    if strategy != "auto":
+        raise MappingError(f"unknown mapping strategy {strategy!r}")
+    if _looks_one_dimensional(circuit):
+        return snake_mapping(circuit, layout)
+    return grid_mapping(circuit, layout)

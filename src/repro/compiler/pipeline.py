@@ -1,0 +1,112 @@
+"""End-to-end compiler: mapping -> routing -> scheduling (paper Sec. V).
+
+Usage::
+
+    from repro import FaultTolerantCompiler, CompilerConfig
+    from repro.workloads import ising_2d
+
+    compiler = FaultTolerantCompiler(CompilerConfig(routing_paths=4))
+    result = compiler.compile(ising_2d(10))
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.instruction_set import InstructionSet
+from ..arch.layout import Layout, assign_factory_ports, build_layout
+from ..baselines.lower_bound import distillation_lower_bound
+from ..ir.circuit import Circuit
+from ..ir.properties import profile
+from ..scheduling.resim import optimize_schedule
+from ..scheduling.scheduler import LatticeSurgeryScheduler
+from .config import CompilerConfig
+from .mapping import choose_mapping
+from .result import CompilationResult
+
+
+class FaultTolerantCompiler:
+    """The paper's distillation-adaptive early-FTQC compiler."""
+
+    def __init__(self, config: Optional[CompilerConfig] = None) -> None:
+        self.config = config or CompilerConfig()
+
+    # -- stages ------------------------------------------------------------------
+
+    def build_layout(self, circuit: Circuit) -> Layout:
+        """Mapping stage, part 1: construct the Fig. 3 layout."""
+        return build_layout(circuit.num_qubits, self.config.routing_paths)
+
+    def compile(self, circuit: Circuit, layout: Optional[Layout] = None) -> CompilationResult:
+        """Compile ``circuit`` and return metrics-laden results.
+
+        Args:
+            circuit: a Clifford+T program.
+            layout: optional pre-built layout (must match the config's r).
+        """
+        config = self.config
+        layout = layout or self.build_layout(circuit)
+        placement = choose_mapping(circuit, layout, config.mapping)
+        ports = assign_factory_ports(layout, config.num_factories)
+
+        schedule, stats = self._run_schedule(
+            circuit, layout, placement, ports, config.instruction_set
+        )
+        elimination = None
+        if config.eliminate_redundant_moves:
+            schedule, elimination = optimize_schedule(schedule)
+
+        unit_time = None
+        if config.compute_unit_cost_time:
+            unit_schedule, _ = self._run_schedule(
+                circuit, layout, placement, ports, InstructionSet.unit()
+            )
+            if config.eliminate_redundant_moves:
+                unit_schedule, _ = optimize_schedule(unit_schedule)
+            unit_time = unit_schedule.makespan
+
+        circuit_profile = profile(circuit)
+        t_states = config.synthesis.circuit_t_count(circuit)
+        factory_config = config.factory_config()
+        bound = distillation_lower_bound(
+            t_states, factory_config.distill_time, config.num_factories
+        )
+        return CompilationResult(
+            schedule=schedule,
+            layout=layout,
+            profile=circuit_profile,
+            execution_time=schedule.makespan,
+            unit_cost_time=unit_time,
+            num_factories=config.num_factories,
+            factory_area=factory_config.area,
+            t_states=t_states,
+            lower_bound=bound,
+            elimination=elimination,
+            stats=stats,
+        )
+
+    def _run_schedule(self, circuit, layout, placement, ports, isa):
+        scheduler = LatticeSurgeryScheduler(
+            grid=layout.grid,
+            instruction_set=isa,
+            factory_ports=ports,
+            factory_config=self.config.factory_config(),
+            synthesis=self.config.synthesis,
+            lookahead=self.config.lookahead,
+        )
+        schedule = scheduler.run(circuit, placement)
+        return schedule, scheduler.stats.as_dict()
+
+
+def compile_circuit(
+    circuit: Circuit,
+    routing_paths: int = 4,
+    num_factories: int = 1,
+    **config_kwargs,
+) -> CompilationResult:
+    """One-call convenience wrapper around :class:`FaultTolerantCompiler`."""
+    config = CompilerConfig(
+        routing_paths=routing_paths, num_factories=num_factories, **config_kwargs
+    )
+    return FaultTolerantCompiler(config).compile(circuit)

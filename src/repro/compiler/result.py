@@ -1,0 +1,115 @@
+"""Compilation result and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..arch.layout import Layout
+from ..ir.properties import CircuitProfile
+from ..scheduling.events import Schedule
+from ..scheduling.redundant_moves import EliminationReport
+
+
+@dataclass
+class CompilationResult:
+    """Everything the evaluation section needs from one compile run.
+
+    Attributes:
+        schedule: the final (optimised) schedule.
+        layout: the layout compiled onto.
+        profile: static profile of the input circuit.
+        execution_time: makespan in units of d (realistic latencies).
+        unit_cost_time: makespan under the unit-cost instruction set, or
+            None when not requested (Fig. 8's second series).
+        num_factories: distillation factories provisioned.
+        factory_area: logical patches per factory.
+        t_states: magic states consumed.
+        lower_bound: Eq. 2 distillation bound for this configuration.
+        elimination: redundant-move pass report (None when disabled).
+        stats: raw scheduler counters.
+    """
+
+    schedule: Schedule
+    layout: Layout
+    profile: CircuitProfile
+    execution_time: float
+    unit_cost_time: Optional[float]
+    num_factories: int
+    factory_area: int
+    t_states: int
+    lower_bound: float
+    elimination: Optional[EliminationReport] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- qubit accounting -------------------------------------------------------
+
+    @property
+    def compute_qubits(self) -> int:
+        """Logical qubits in the computation block (data + bus)."""
+        return self.layout.total_qubits
+
+    @property
+    def total_qubits(self) -> int:
+        """Computation block plus distillation factories."""
+        return self.compute_qubits + self.num_factories * self.factory_area
+
+    # -- paper metrics ------------------------------------------------------------
+
+    def spacetime_volume(self, include_factories: bool = True) -> float:
+        """Qubits x execution time (Figs. 9, 13 include factories; 15 not)."""
+        qubits = self.total_qubits if include_factories else self.compute_qubits
+        return qubits * self.execution_time
+
+    def spacetime_volume_per_op(self, include_factories: bool = True) -> float:
+        """Spacetime volume normalised by input gate count (Fig. 9's y-axis)."""
+        ops = max(1, self.profile.num_gates)
+        return self.spacetime_volume(include_factories) / ops
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction: time / input operation count (Fig. 13/14)."""
+        return self.execution_time / max(1, self.profile.num_gates)
+
+    @property
+    def time_vs_lower_bound(self) -> float:
+        """Execution-time overhead factor relative to the Eq. 2 bound."""
+        if self.lower_bound <= 0:
+            return 1.0
+        return self.execution_time / self.lower_bound
+
+    @property
+    def unit_time_vs_lower_bound(self) -> Optional[float]:
+        if self.unit_cost_time is None or self.lower_bound <= 0:
+            return None
+        return self.unit_cost_time / self.lower_bound
+
+    def summary(self) -> str:
+        lines = [
+            f"circuit        : {self.profile.name} "
+            f"({self.profile.num_qubits} qubits, {self.profile.num_gates} gates)",
+            f"layout         : r={self.layout.routing_paths}, "
+            f"{self.compute_qubits} compute qubits "
+            f"({self.layout.num_bus} bus)",
+            f"factories      : {self.num_factories} x {self.factory_area} patches",
+            f"t states       : {self.t_states}",
+            f"execution time : {self.execution_time:.1f} d "
+            f"({self.time_vs_lower_bound:.2f}x lower bound {self.lower_bound:.1f} d)",
+        ]
+        if self.unit_cost_time is not None:
+            lines.append(
+                f"unit-cost time : {self.unit_cost_time:.1f} d "
+                f"({self.unit_cost_time / self.lower_bound:.2f}x bound)"
+                if self.lower_bound > 0
+                else f"unit-cost time : {self.unit_cost_time:.1f} d"
+            )
+        lines.append(
+            f"spacetime vol  : {self.spacetime_volume():.0f} qubit-d "
+            f"(excl. factories {self.spacetime_volume(False):.0f})"
+        )
+        if self.elimination is not None:
+            lines.append(
+                f"moves removed  : {self.elimination.moves_removed} "
+                f"({self.elimination.removed_pairs} inverse pairs)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Physical resource estimation (d-units -> physical qubits and seconds)."""
+
+from .resources import (
+    ErrorModel,
+    PhysicalEstimate,
+    choose_code_distance,
+    compare_distances,
+    estimate_physical_resources,
+    failure_probability,
+    physical_qubits_per_patch,
+)
+
+__all__ = [
+    "ErrorModel",
+    "PhysicalEstimate",
+    "choose_code_distance",
+    "compare_distances",
+    "estimate_physical_resources",
+    "failure_probability",
+    "physical_qubits_per_patch",
+]

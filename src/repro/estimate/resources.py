@@ -1,0 +1,145 @@
+"""Physical resource estimation: from d-units to qubits and wall-clock.
+
+The compiler reports execution time in units of the code distance *d* and
+qubit counts in logical patches.  This module closes the loop to physical
+hardware, following the standard surface-code accounting the paper builds
+on ([6, 16]):
+
+* a distance-``d`` patch uses ``2*d**2 - 1`` physical qubits (Fig. 1b);
+* the logical error rate per patch per code cycle follows the empirical
+  scaling ``p_L(d) = A * (p / p_th) ** ((d + 1) / 2)``;
+* one timestep (1d) is ``d`` code cycles of duration ``cycle_time``.
+
+``choose_code_distance`` picks the smallest d meeting a target total
+failure budget for a compiled program, and ``estimate_physical_resources``
+turns a :class:`~repro.compiler.result.CompilationResult` into physical
+qubits and seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..compiler.result import CompilationResult
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Surface-code error scaling parameters.
+
+    Attributes:
+        physical_error_rate: per-operation physical error probability (p).
+        threshold: code threshold (p_th, ~1e-2 for the surface code).
+        prefactor: the A constant of the scaling law.
+        cycle_time_s: duration of one syndrome-measurement cycle.
+    """
+
+    physical_error_rate: float = 1e-3
+    threshold: float = 1e-2
+    prefactor: float = 0.1
+    cycle_time_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not (0 < self.physical_error_rate < self.threshold):
+            raise ValueError("need physical error rate below threshold")
+        if self.cycle_time_s <= 0:
+            raise ValueError("cycle time must be positive")
+
+    def logical_error_rate(self, distance: int) -> float:
+        """Per-patch, per-cycle logical error probability at distance d."""
+        if distance < 3 or distance % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        ratio = self.physical_error_rate / self.threshold
+        return self.prefactor * ratio ** ((distance + 1) / 2)
+
+
+def physical_qubits_per_patch(distance: int) -> int:
+    """``2d^2 - 1`` physical qubits per logical patch (Fig. 1b)."""
+    if distance < 3:
+        raise ValueError("distance must be >= 3")
+    return 2 * distance * distance - 1
+
+
+@dataclass(frozen=True)
+class PhysicalEstimate:
+    """Physical resources for one compiled program.
+
+    Attributes:
+        code_distance: chosen d.
+        physical_qubits: total physical qubits (compute block + factories).
+        wall_clock_s: execution time in seconds.
+        total_failure_probability: expected logical failures (union bound).
+        logical_patch_count: logical qubits incl. factory patches.
+        code_cycles: total syndrome cycles executed.
+    """
+
+    code_distance: int
+    physical_qubits: int
+    wall_clock_s: float
+    total_failure_probability: float
+    logical_patch_count: int
+    code_cycles: float
+
+
+def failure_probability(
+    result: CompilationResult, distance: int, model: ErrorModel
+) -> float:
+    """Union-bound failure estimate: patches x cycles x p_L(d)."""
+    patches = result.total_qubits
+    cycles = result.execution_time * distance  # 1 timestep = d cycles
+    return min(1.0, patches * cycles * model.logical_error_rate(distance))
+
+
+def choose_code_distance(
+    result: CompilationResult,
+    model: ErrorModel = ErrorModel(),
+    target_failure: float = 1e-2,
+    max_distance: int = 51,
+) -> int:
+    """Smallest odd d whose union-bound failure meets ``target_failure``."""
+    if not (0 < target_failure < 1):
+        raise ValueError("target_failure must be in (0, 1)")
+    for distance in range(3, max_distance + 1, 2):
+        if failure_probability(result, distance, model) <= target_failure:
+            return distance
+    raise ValueError(
+        f"no distance <= {max_distance} meets failure target {target_failure}"
+    )
+
+
+def estimate_physical_resources(
+    result: CompilationResult,
+    model: ErrorModel = ErrorModel(),
+    target_failure: float = 1e-2,
+) -> PhysicalEstimate:
+    """Full physical estimate for a compiled program."""
+    distance = choose_code_distance(result, model, target_failure)
+    patches = result.total_qubits
+    cycles = result.execution_time * distance
+    return PhysicalEstimate(
+        code_distance=distance,
+        physical_qubits=patches * physical_qubits_per_patch(distance),
+        wall_clock_s=cycles * model.cycle_time_s,
+        total_failure_probability=failure_probability(result, distance, model),
+        logical_patch_count=patches,
+        code_cycles=cycles,
+    )
+
+
+def compare_distances(
+    result: CompilationResult,
+    model: ErrorModel = ErrorModel(),
+    distances=(3, 5, 7, 9, 11, 13, 15),
+):
+    """(distance, physical qubits, failure probability) rows for a sweep."""
+    rows = []
+    for distance in distances:
+        rows.append(
+            (
+                distance,
+                result.total_qubits * physical_qubits_per_patch(distance),
+                failure_probability(result, distance, model),
+            )
+        )
+    return rows

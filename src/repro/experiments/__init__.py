@@ -1,0 +1,42 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from . import ablations, fig8, fig9, fig11, fig12, fig13, fig14, fig15, headline, table1
+from .runner import clear_cache, compile_ours
+
+#: experiment id -> callable(fast) returning a Table (or list of Tables).
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig14d": fig14.run_distill_sweep,
+    "fig15": fig15.run,
+    "headline": headline.run,
+    "ablations": ablations.run,
+}
+
+
+def run_all(fast: bool = True):
+    """Run every experiment; returns {id: Table}."""
+    return {name: run(fast) for name, run in ALL_EXPERIMENTS.items()}
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "clear_cache",
+    "compile_ours",
+    "fig8",
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "headline",
+    "ablations",
+    "run_all",
+    "table1",
+]

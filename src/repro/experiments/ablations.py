@@ -1,0 +1,62 @@
+"""Ablations of the compiler's design choices.
+
+The paper attributes its results to a handful of greedy mechanisms; this
+experiment turns each off in isolation to measure its contribution:
+
+* **lookahead** — gate-dependent drift goals for CNOT alignment (Sec. V-A);
+* **redundant-move elimination** — the Sec. V-D scheduling pass;
+* **factory buffering** — the output buffer that decouples distillation
+  from consumption.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arch.factory import FactoryConfig
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import FaultTolerantCompiler
+from ..metrics.report import Table
+from .runner import MODELS, lattice_side
+
+COLUMNS = ["model", "variant", "exec_time_d", "x_bound", "moves"]
+
+ROUTING_PATHS = 4
+
+
+def _variants():
+    base = CompilerConfig(routing_paths=ROUTING_PATHS, num_factories=1)
+    return [
+        ("full", base),
+        ("no-lookahead", base.with_(lookahead=False)),
+        ("no-move-elimination", base.with_(eliminate_redundant_moves=False)),
+        (
+            "no-factory-buffer",
+            base.with_(factory=FactoryConfig(distill_time=11.0, buffer_capacity=1)),
+        ),
+    ]
+
+
+def run(fast: bool = True, models: List[str] = None) -> Table:
+    """Compile each model under every ablated configuration."""
+    side = lattice_side(fast)
+    chosen = models or list(MODELS)
+    table = Table(
+        title=f"Ablations — r={ROUTING_PATHS}, 1 factory, {side}x{side}",
+        columns=COLUMNS,
+        notes=[
+            "each variant disables one mechanism; 'full' is the shipped compiler",
+        ],
+    )
+    for model in chosen:
+        circuit = MODELS[model](side)
+        for variant, config in _variants():
+            result = FaultTolerantCompiler(config).compile(circuit)
+            table.add_row(
+                model=model,
+                variant=variant,
+                exec_time_d=result.execution_time,
+                x_bound=result.time_vs_lower_bound,
+                moves=result.schedule.num_moves,
+            )
+    return table

@@ -1,0 +1,85 @@
+"""Figure 11 — execution time vs qubits across problem sizes, against the
+Litinski compact and fast block layouts.
+
+Single Trotter step circuits from 4 to 100 qubits, one factory.  The paper
+finds r=5/6 layouts sit on the sweet spot: roughly half the qubits of the
+modified compact block (3n+3) at 1.04-1.22x its execution time; the
+modified fast block (4n+6) uses >2x our qubits for only ~20 % less time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..baselines.litinski import compact_block, evaluate_block, fast_block
+from ..metrics.report import Table
+from ..synthesis.ppr import transpile_to_ppr
+from .runner import MODELS, compile_ours
+
+COLUMNS = [
+    "model", "size", "scheme", "qubits", "exec_time_d", "time_vs_bound",
+]
+
+ROUTING_PATHS = [3, 4, 5, 6]
+
+
+def sizes(fast: bool) -> List[int]:
+    return [2, 4] if fast else [2, 4, 6, 8, 10]
+
+
+def run(fast: bool = True, models: List[str] = None) -> Table:
+    """Ours (r=3..6) vs compact/fast blocks across lattice sizes."""
+    chosen = models or list(MODELS)
+    table = Table(
+        title="Figure 11 — execution time vs qubit count (1 factory)",
+        columns=COLUMNS,
+        notes=[
+            "paper shape: our r=5,6 points dominate the blocks in qubits at "
+            "~1.04-1.22x their time; blocks sit at the distillation bound",
+        ],
+    )
+    for model in chosen:
+        for side in sizes(fast):
+            circuit = MODELS[model](side)
+            for r in ROUTING_PATHS:
+                result = compile_ours(circuit, routing_paths=r, num_factories=1)
+                table.add_row(
+                    model=model,
+                    size=side * side,
+                    scheme=f"ours-r{r}",
+                    qubits=result.compute_qubits,
+                    exec_time_d=result.execution_time,
+                    time_vs_bound=result.time_vs_lower_bound,
+                )
+            program = transpile_to_ppr(circuit)
+            for block in (compact_block(), fast_block()):
+                estimate = evaluate_block(
+                    circuit, block, num_factories=1, ppr_program=program
+                )
+                table.add_row(
+                    model=model,
+                    size=side * side,
+                    scheme=block.name,
+                    qubits=estimate.compute_qubits,
+                    exec_time_d=estimate.execution_time,
+                    time_vs_bound=estimate.time_vs_lower_bound,
+                )
+    return table
+
+
+def qubit_reduction_at_best_r(table: Table, model: str, size: int) -> float:
+    """Our best-r qubit count vs the compact block's, for the headline."""
+    ours = [
+        row for row in table.rows
+        if row["model"] == model and row["size"] == size
+        and str(row["scheme"]).startswith("ours")
+    ]
+    compact = [
+        row for row in table.rows
+        if row["model"] == model and row["size"] == size
+        and "compact" in str(row["scheme"])
+    ]
+    if not ours or not compact:
+        raise ValueError("table lacks required rows")
+    best = min(ours, key=lambda r: r["qubits"] * r["exec_time_d"])
+    return 1.0 - best["qubits"] / compact[0]["qubits"]

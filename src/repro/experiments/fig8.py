@@ -1,0 +1,57 @@
+"""Figure 8 — execution time and unit-cost time vs the Eq. 2 lower bound.
+
+Five benchmarks (three 10x10 condensed-matter circuits plus the adder and
+multiplier), r=4 layout, one distillation factory.  The paper reports
+unit-cost overheads of 1.1-1.3x and total execution overheads of 1.2-1.4x
+for the condensed matter circuits, and 1.06x for the multiplier.
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Table
+from ..workloads import adder_n28, multiplier_n15
+from .runner import MODELS, compile_ours, lattice_side
+
+COLUMNS = [
+    "benchmark",
+    "lower_bound_d",
+    "unit_cost_time_d",
+    "execution_time_d",
+    "unit_vs_bound",
+    "exec_vs_bound",
+]
+
+ROUTING_PATHS = 4
+
+
+def run(fast: bool = True) -> Table:
+    """Reproduce the Fig. 8 bar chart as a table."""
+    side = lattice_side(fast)
+    circuits = [builder(side) for builder in MODELS.values()]
+    circuits += [adder_n28(), multiplier_n15()]
+    table = Table(
+        title=f"Figure 8 — time vs lower bound (r={ROUTING_PATHS}, 1 factory, "
+        f"{side}x{side} lattices)",
+        columns=COLUMNS,
+        notes=[
+            "paper shape: unit-cost 1.1-1.3x of bound; execution 1.2-1.4x "
+            "(condensed matter), ~1.06x (multiplier)",
+        ],
+    )
+    for circuit in circuits:
+        result = compile_ours(
+            circuit, routing_paths=ROUTING_PATHS, num_factories=1, unit_cost=True
+        )
+        table.add_row(
+            benchmark=circuit.name,
+            lower_bound_d=result.lower_bound,
+            unit_cost_time_d=result.unit_cost_time,
+            execution_time_d=result.execution_time,
+            unit_vs_bound=(
+                result.unit_cost_time / result.lower_bound
+                if result.lower_bound
+                else None
+            ),
+            exec_vs_bound=result.time_vs_lower_bound,
+        )
+    return table

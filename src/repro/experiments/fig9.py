@@ -1,0 +1,57 @@
+"""Figure 9 — distillation-adaptive routing-path allocation.
+
+Spacetime volume per operation (including factory qubits) versus the
+number of distillation factories, for layouts with different routing-path
+counts.  The paper's headline shape: U-shaped curves whose minimum shifts
+to more factories as r grows (r=3 -> 2 factories optimal; r=22 -> ~5), and
+the 1-factory/8-factory ordering between r=3 and r=22 inverts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..metrics.report import Table
+from .runner import MODELS, compile_ours, factory_sweep, lattice_side, routing_path_sweep
+
+COLUMNS = ["model", "routing_paths", "factories", "exec_time_d", "total_qubits",
+           "spacetime_per_op"]
+
+
+def run(fast: bool = True, models: List[str] = None) -> Table:
+    """Sweep factories x routing paths for the three condensed-matter models."""
+    side = lattice_side(fast)
+    chosen = models or list(MODELS)
+    table = Table(
+        title=f"Figure 9 — spacetime volume/op vs factories ({side}x{side})",
+        columns=COLUMNS,
+        notes=[
+            "U-shaped in factories for each r; optimum shifts right as r grows",
+            "spacetime includes factory patches",
+        ],
+    )
+    for model in chosen:
+        circuit = MODELS[model](side)
+        for r in routing_path_sweep(fast):
+            for nf in factory_sweep(fast):
+                result = compile_ours(circuit, routing_paths=r, num_factories=nf)
+                table.add_row(
+                    model=model,
+                    routing_paths=r,
+                    factories=nf,
+                    exec_time_d=result.execution_time,
+                    total_qubits=result.total_qubits,
+                    spacetime_per_op=result.spacetime_volume_per_op(True),
+                )
+    return table
+
+
+def optimal_factories(table: Table) -> Dict[tuple, int]:
+    """(model, r) -> factory count minimising spacetime volume per op."""
+    best: Dict[tuple, tuple] = {}
+    for row in table.rows:
+        key = (row["model"], row["routing_paths"])
+        value = (row["spacetime_per_op"], row["factories"])
+        if key not in best or value < best[key]:
+            best[key] = value
+    return {key: value[1] for key, value in best.items()}

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment exposes ``run(fast: bool = True) -> Table`` (or a list of
+Tables).  ``fast=True`` shrinks lattice sizes / sweep ranges so the whole
+suite executes in seconds under pytest; ``fast=False`` reproduces the
+paper's full 10x10 configurations (used for EXPERIMENTS.md and the final
+bench run).
+
+Compilation results are memoised per-process: several figures share the
+same (circuit, r, factories) points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import FaultTolerantCompiler
+from ..compiler.result import CompilationResult
+from ..ir.circuit import Circuit
+from ..workloads import fermi_hubbard_2d, heisenberg_2d, ising_2d
+
+#: process-wide cache: key -> CompilationResult.
+_CACHE: Dict[Tuple, CompilationResult] = {}
+
+#: circuit factories by model name (used by most figures).
+MODELS = {
+    "ising": ising_2d,
+    "heisenberg": heisenberg_2d,
+    "fermi_hubbard": fermi_hubbard_2d,
+}
+
+
+def lattice_side(fast: bool) -> int:
+    """4x4 lattices in fast mode, the paper's 10x10 otherwise."""
+    return 4 if fast else 10
+
+
+def compile_ours(
+    circuit: Circuit,
+    routing_paths: int,
+    num_factories: int = 1,
+    distill_time: Optional[float] = None,
+    unit_cost: bool = False,
+    use_cache: bool = True,
+) -> CompilationResult:
+    """Compile with our compiler, memoised on the sweep parameters."""
+    key = (
+        circuit.name,
+        len(circuit),
+        routing_paths,
+        num_factories,
+        distill_time,
+        unit_cost,
+    )
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    config = CompilerConfig(
+        routing_paths=routing_paths,
+        num_factories=num_factories,
+        compute_unit_cost_time=unit_cost,
+    )
+    if distill_time is not None:
+        config = config.with_(
+            instruction_set=config.instruction_set.with_distill_time(distill_time)
+        )
+    result = FaultTolerantCompiler(config).compile(circuit)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoised compilations (used between benchmark repetitions)."""
+    _CACHE.clear()
+
+
+def routing_path_sweep(fast: bool) -> list:
+    """The r values highlighted in Fig. 9 (clamped in fast mode)."""
+    return [3, 4, 6, 10] if fast else [3, 4, 6, 10, 18, 22]
+
+
+def factory_sweep(fast: bool) -> list:
+    return [1, 2, 4] if fast else [1, 2, 3, 4, 6, 8]

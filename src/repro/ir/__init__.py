@@ -1,0 +1,24 @@
+"""Quantum circuit intermediate representation (Clifford+T front-end)."""
+
+from .circuit import Circuit, bell_pair, ghz_chain, random_clifford_t
+from .dag import DagCircuit, DagNode, ReadyFrontier
+from .gates import Gate, GateError
+from .passes import optimize
+from .properties import CircuitProfile, instruction_mix, interaction_graph, profile
+
+__all__ = [
+    "Circuit",
+    "CircuitProfile",
+    "DagCircuit",
+    "DagNode",
+    "Gate",
+    "GateError",
+    "ReadyFrontier",
+    "bell_pair",
+    "ghz_chain",
+    "instruction_mix",
+    "interaction_graph",
+    "optimize",
+    "profile",
+    "random_clifford_t",
+]

@@ -1,0 +1,204 @@
+"""Directed acyclic graph view of a circuit.
+
+The scheduler and the gate-dependent move heuristic (paper Sec. V-A) both
+consume the circuit as a DAG: nodes are gates, edges are data dependencies
+induced by shared qubits.  The DAG also provides the ASAP layering used for
+look-ahead and the critical-path depth used by the DASCOT baseline model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .circuit import Circuit
+from .gates import BARRIER, Gate
+
+
+@dataclass
+class DagNode:
+    """One gate instance inside the DAG.
+
+    Attributes:
+        index: position of the gate in the original circuit order.
+        gate: the gate itself.
+        predecessors / successors: node indices this gate depends on / feeds.
+        layer: ASAP layer (0-based), filled by :class:`DagCircuit`.
+    """
+
+    index: int
+    gate: Gate
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+    layer: int = 0
+
+    @property
+    def qubits(self) -> Sequence[int]:
+        return self.gate.qubits
+
+
+class DagCircuit:
+    """Dependency DAG over the gates of a :class:`~repro.ir.circuit.Circuit`.
+
+    Construction is O(gates).  Barriers order all gates across the barrier's
+    qubits but do not become nodes themselves.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.nodes: List[DagNode] = []
+        last_on_wire: Dict[int, Optional[int]] = defaultdict(lambda: None)
+
+        for position, gate in enumerate(circuit):
+            if gate.name == BARRIER:
+                # A barrier serialises; model it by a pseudo-dependency chain:
+                # remember the frontier and wire every future gate on these
+                # qubits behind the latest node seen so far.
+                continue
+            node = DagNode(index=len(self.nodes), gate=gate)
+            for q in gate.qubits:
+                prev = last_on_wire[q]
+                if prev is not None:
+                    node.predecessors.add(prev)
+                    self.nodes[prev].successors.add(node.index)
+                last_on_wire[q] = node.index
+            self.nodes.append(node)
+        self._compute_layers()
+
+    # -- structure ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self.nodes)
+
+    def node(self, index: int) -> DagNode:
+        return self.nodes[index]
+
+    def roots(self) -> List[DagNode]:
+        """Gates with no predecessors (the initial frontier)."""
+        return [n for n in self.nodes if not n.predecessors]
+
+    def _compute_layers(self) -> None:
+        indegree = {n.index: len(n.predecessors) for n in self.nodes}
+        ready = deque(n.index for n in self.nodes if indegree[n.index] == 0)
+        while ready:
+            idx = ready.popleft()
+            node = self.nodes[idx]
+            node.layer = max(
+                (self.nodes[p].layer + 1 for p in node.predecessors), default=0
+            )
+            for succ in node.successors:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+
+    # -- queries used by the compiler ----------------------------------------
+
+    def depth(self) -> int:
+        """Critical-path length in gates."""
+        if not self.nodes:
+            return 0
+        return max(n.layer for n in self.nodes) + 1
+
+    def layers(self) -> List[List[DagNode]]:
+        """Nodes grouped by ASAP layer, each inner list circuit-ordered."""
+        grouped: Dict[int, List[DagNode]] = defaultdict(list)
+        for node in self.nodes:
+            grouped[node.layer].append(node)
+        return [grouped[i] for i in range(self.depth())]
+
+    def topological_order(self) -> List[DagNode]:
+        """Kahn topological order that respects original circuit order."""
+        indegree = {n.index: len(n.predecessors) for n in self.nodes}
+        ready = deque(sorted(i for i, d in indegree.items() if d == 0))
+        order: List[DagNode] = []
+        while ready:
+            idx = ready.popleft()
+            order.append(self.nodes[idx])
+            for succ in sorted(self.nodes[idx].successors):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise RuntimeError("cycle detected in circuit DAG")
+        return order
+
+    def next_gate_on_qubit(self, after: int, qubit: int) -> Optional[DagNode]:
+        """First successor of node ``after`` acting on ``qubit``.
+
+        This is the look-ahead query the gate-dependent move heuristic uses
+        to decide where a data qubit should drift after its current gate.
+        """
+        start = self.nodes[after]
+        best: Optional[DagNode] = None
+        stack = list(start.successors)
+        seen: Set[int] = set()
+        while stack:
+            idx = stack.pop()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            node = self.nodes[idx]
+            if qubit in node.qubits:
+                if best is None or node.index < best.index:
+                    best = node
+                continue
+            stack.extend(node.successors)
+        return best
+
+    def critical_path_timesteps(self, durations: Dict[str, float]) -> float:
+        """Weighted critical path, with per-gate durations by mnemonic.
+
+        Unknown mnemonics cost 1.  Used by baseline models that assume
+        unconstrained routing (DASCOT) to compute an ideal circuit depth.
+        """
+        finish: Dict[int, float] = {}
+        for node in self.topological_order():
+            start = max((finish[p] for p in node.predecessors), default=0.0)
+            finish[node.index] = start + durations.get(node.gate.name, 1.0)
+        return max(finish.values(), default=0.0)
+
+
+class ReadyFrontier:
+    """Incremental ready-set tracker for event-driven scheduling.
+
+    The scheduler repeatedly asks for gates whose predecessors have all
+    completed, marks one complete, and continues.  This class maintains that
+    frontier in O(E) total work.
+    """
+
+    def __init__(self, dag: DagCircuit) -> None:
+        self._dag = dag
+        self._remaining = {n.index: len(n.predecessors) for n in dag.nodes}
+        self._ready: Set[int] = {i for i, d in self._remaining.items() if d == 0}
+        self._done: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._dag) - len(self._done)
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self._done) == len(self._dag)
+
+    def ready_nodes(self) -> List[DagNode]:
+        """Current frontier, in circuit order (deterministic)."""
+        return [self._dag.node(i) for i in sorted(self._ready)]
+
+    def complete(self, index: int) -> List[DagNode]:
+        """Mark node ``index`` finished; return nodes that just became ready."""
+        if index in self._done:
+            raise ValueError(f"node {index} completed twice")
+        if index not in self._ready:
+            raise ValueError(f"node {index} is not ready")
+        self._ready.remove(index)
+        self._done.add(index)
+        newly = []
+        for succ in self._dag.node(index).successors:
+            self._remaining[succ] -= 1
+            if self._remaining[succ] == 0:
+                self._ready.add(succ)
+                newly.append(self._dag.node(succ))
+        return newly

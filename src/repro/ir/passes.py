@@ -1,0 +1,141 @@
+"""Circuit-level optimisation passes run before mapping.
+
+These are standard front-end cleanups that the paper's Qiskit pipeline gets
+for free: cancelling adjacent inverse gates, fusing runs of Z-rotations and
+dropping no-op rotations.  They reduce the gate counts the scheduler sees
+without changing the computation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import gates as g
+from .circuit import Circuit
+from .gates import ANGLE_ATOL, Gate, normalize_angle
+
+#: pairs of gates that cancel when adjacent on the same qubits.
+_INVERSE_PAIRS = {
+    (g.H, g.H), (g.X, g.X), (g.Y, g.Y), (g.Z, g.Z),
+    (g.S, g.SDG), (g.SDG, g.S), (g.T, g.TDG), (g.TDG, g.T),
+    (g.SX, g.SXDG), (g.SXDG, g.SX),
+    (g.CX, g.CX), (g.CZ, g.CZ), (g.SWAP, g.SWAP),
+}
+
+#: Z-axis gates expressible as rz rotations (for fusion).
+_Z_ANGLES = {g.S: 0.5, g.SDG: -0.5, g.Z: 1.0, g.T: 0.25, g.TDG: -0.25}
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Remove adjacent gate pairs that multiply to the identity.
+
+    Adjacency is per-wire: two gates cancel when they act on the same
+    qubits and no other gate touches those qubits in between.  Applied to
+    a fixed point in one linear sweep with a per-wire stack.
+    """
+    kept: List[Optional[Gate]] = []
+    last_on_wire: Dict[int, int] = {}
+
+    for gate in circuit:
+        index = len(kept)
+        previous = None
+        positions = [last_on_wire.get(q) for q in gate.qubits]
+        if positions and positions[0] is not None and all(
+            p == positions[0] for p in positions
+        ):
+            candidate = kept[positions[0]]
+            if (
+                candidate is not None
+                and candidate.qubits == gate.qubits
+                and (candidate.name, gate.name) in _INVERSE_PAIRS
+                and candidate.param is None
+                and gate.param is None
+            ):
+                previous = positions[0]
+        if previous is not None:
+            kept[previous] = None
+            for q in gate.qubits:
+                del last_on_wire[q]
+            continue
+        kept.append(gate)
+        for q in gate.qubits:
+            last_on_wire[q] = index
+
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    out.extend(gate for gate in kept if gate is not None)
+    return out
+
+
+def fuse_z_rotations(circuit: Circuit) -> Circuit:
+    """Merge consecutive Z-axis gates on the same wire into a single rz.
+
+    Runs of ``rz/s/sdg/z/t/tdg`` fuse by angle addition; the fused angle is
+    re-expressed as a named Clifford+T gate when exact, otherwise kept as
+    ``rz``.  Zero-angle results disappear.
+    """
+    pending: Dict[int, float] = {}
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+
+    def flush(qubit: int) -> None:
+        theta = normalize_angle(pending.pop(qubit, 0.0))
+        if theta < ANGLE_ATOL or abs(theta - 2 * 3.141592653589793) < ANGLE_ATOL:
+            return
+        from ..synthesis.clifford_t import rz_to_clifford_t
+        from .gates import is_multiple_of
+        import math
+
+        if is_multiple_of(theta, math.pi / 4):
+            out.extend(rz_to_clifford_t(theta, qubit))
+        else:
+            out.rz(theta, qubit)
+
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            (qubit,) = gate.qubits
+            if gate.name in _Z_ANGLES:
+                import math
+
+                pending[qubit] = pending.get(qubit, 0.0) + _Z_ANGLES[gate.name] * math.pi
+                continue
+            if gate.name == g.RZ:
+                assert gate.param is not None
+                pending[qubit] = pending.get(qubit, 0.0) + gate.param
+                continue
+            flush(qubit)
+            out.append(gate)
+        else:
+            for qubit in gate.qubits:
+                flush(qubit)
+            out.append(gate)
+    for qubit in list(pending):
+        flush(qubit)
+    return out
+
+
+def drop_trivial_rotations(circuit: Circuit) -> Circuit:
+    """Remove rz/rx gates whose angle is (numerically) a multiple of 2*pi."""
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name in g.PARAMETRIC:
+            assert gate.param is not None
+            theta = normalize_angle(gate.param)
+            if theta < ANGLE_ATOL:
+                continue
+        out.append(gate)
+    return out
+
+
+#: the default pre-mapping pipeline, applied in order.
+DEFAULT_PASSES: Sequence[Callable[[Circuit], Circuit]] = (
+    drop_trivial_rotations,
+    cancel_inverse_pairs,
+    fuse_z_rotations,
+    cancel_inverse_pairs,
+)
+
+
+def optimize(circuit: Circuit, passes: Optional[Sequence] = None) -> Circuit:
+    """Run the front-end optimisation pipeline."""
+    for step in passes or DEFAULT_PASSES:
+        circuit = step(circuit)
+    return circuit

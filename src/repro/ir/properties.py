@@ -1,0 +1,122 @@
+"""Static circuit analyses shared by the compiler and the experiment tables.
+
+These helpers answer the questions the paper's evaluation keeps asking of a
+program: how many magic states does it need (n_T in Eq. 2), what is its
+instruction mix, how parallel is it, and which qubit pairs interact (used to
+choose the initial static mapping, Sec. V).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from . import gates as g
+from .circuit import Circuit
+from .dag import DagCircuit
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Summary statistics for one benchmark circuit.
+
+    Attributes:
+        name: circuit name.
+        num_qubits: register width.
+        num_gates: total gate count (excluding barriers).
+        gate_counts: histogram by mnemonic.
+        t_count: number of magic states consumed (1 per non-Clifford
+            rotation under the paper's accounting).
+        two_qubit_count: number of two-qubit gates.
+        depth: unit-cost DAG depth.
+        parallelism: gates / depth — average width of the DAG layers.
+    """
+
+    name: str
+    num_qubits: int
+    num_gates: int
+    gate_counts: Dict[str, int]
+    t_count: int
+    two_qubit_count: int
+    depth: int
+    parallelism: float
+
+
+def profile(circuit: Circuit, t_per_rotation: int = 1) -> CircuitProfile:
+    """Compute a :class:`CircuitProfile` for ``circuit``."""
+    dag = DagCircuit(circuit)
+    depth = dag.depth()
+    counts = circuit.gate_counts()
+    counts.pop(g.BARRIER, None)
+    num_gates = sum(counts.values())
+    return CircuitProfile(
+        name=circuit.name,
+        num_qubits=circuit.num_qubits,
+        num_gates=num_gates,
+        gate_counts=counts,
+        t_count=circuit.t_count(t_per_rotation=t_per_rotation),
+        two_qubit_count=circuit.num_two_qubit_gates(),
+        depth=depth,
+        parallelism=(num_gates / depth) if depth else 0.0,
+    )
+
+
+def interaction_graph(circuit: Circuit) -> Dict[Tuple[int, int], int]:
+    """Weighted interaction graph: (min(a,b), max(a,b)) -> #two-qubit gates.
+
+    The mapper uses this to check whether the program is dominated by
+    nearest-neighbour interactions on a line or a grid.
+    """
+    weights: Counter = Counter()
+    for gate in circuit:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            weights[(min(a, b), max(a, b))] += 1
+    return dict(weights)
+
+
+def interaction_locality(circuit: Circuit, grid_side: int) -> float:
+    """Fraction of two-qubit gates between grid-adjacent program qubits.
+
+    Program qubit ``q`` is taken to sit at row ``q // grid_side`` and column
+    ``q % grid_side`` (the natural 2D labelling of the paper's condensed
+    matter benchmarks).  A value near 1.0 means a row-major 2D mapping
+    preserves nearest-neighbour structure.
+    """
+    total = 0
+    local = 0
+    for (a, b), weight in interaction_graph(circuit).items():
+        total += weight
+        ra, ca = divmod(a, grid_side)
+        rb, cb = divmod(b, grid_side)
+        if abs(ra - rb) + abs(ca - cb) == 1:
+            local += weight
+    return (local / total) if total else 1.0
+
+
+def instruction_mix(circuit: Circuit) -> Dict[str, float]:
+    """Fractions of Clifford, T-like and two-qubit gates.
+
+    The paper attributes the per-application differences in optimal routing
+    paths (Fig. 9) to the instruction mix; this is that metric.
+    """
+    counts = circuit.gate_counts()
+    counts.pop(g.BARRIER, None)
+    total = sum(counts.values()) or 1
+    t_like = circuit.t_count()
+    two_q = circuit.num_two_qubit_gates()
+    return {
+        "t_fraction": t_like / total,
+        "two_qubit_fraction": two_q / total,
+        "clifford_fraction": max(0.0, 1.0 - (t_like + two_q) / total),
+    }
+
+
+def gate_layers_histogram(circuit: Circuit) -> List[int]:
+    """Number of gates in each ASAP layer (a parallelism profile)."""
+    dag = DagCircuit(circuit)
+    sizes: Dict[int, int] = defaultdict(int)
+    for node in dag:
+        sizes[node.layer] += 1
+    return [sizes[i] for i in range(dag.depth())]

@@ -1,0 +1,151 @@
+"""Minimal OpenQASM 2 emitter and parser for the Clifford+T subset.
+
+This replaces the Qiskit front-end the paper uses: benchmarks can be dumped
+to / loaded from ``.qasm`` text so the compiler can ingest external circuits
+(e.g. QASMBench programs) without any third-party dependency.
+
+Supported statements: the header, one quantum register, one classical
+register, the gate set of :mod:`repro.ir.gates`, ``measure`` and ``barrier``.
+Angles accept ``pi`` arithmetic expressions such as ``rz(3*pi/4) q[2];``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from . import gates as g
+from .circuit import Circuit
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input."""
+
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2(\.\d+)?\s*;")
+_QREG_RE = re.compile(r"qreg\s+(?P<name>\w+)\s*\[\s*(?P<size>\d+)\s*\]\s*;")
+_CREG_RE = re.compile(r"creg\s+\w+\s*\[\s*\d+\s*\]\s*;")
+_INCLUDE_RE = re.compile(r'include\s+"[^"]*"\s*;')
+_GATE_RE = re.compile(
+    r"(?P<name>[a-zA-Z]+)\s*(\((?P<param>[^)]*)\))?\s*(?P<args>[^;]+);"
+)
+_ARG_RE = re.compile(r"(?P<reg>\w+)\s*\[\s*(?P<idx>\d+)\s*\]")
+
+#: gate mnemonics accepted from QASM text, mapped to IR names.
+_SUPPORTED = {
+    "h": g.H, "s": g.S, "sdg": g.SDG, "x": g.X, "y": g.Y, "z": g.Z,
+    "sx": g.SX, "sxdg": g.SXDG, "t": g.T, "tdg": g.TDG,
+    "rz": g.RZ, "rx": g.RX, "cx": g.CX, "cz": g.CZ, "swap": g.SWAP,
+}
+
+_PARAM_TOKEN_RE = re.compile(r"^[\d\s\.\+\-\*/()eE]|pi")
+
+
+def _eval_angle(text: str) -> float:
+    """Evaluate a restricted ``pi`` arithmetic expression."""
+    cleaned = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[\d\s\.\+\-\*/()eE]+", cleaned):
+        raise QasmError(f"unsupported angle expression {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle {text!r}") from exc
+
+
+def _format_angle(theta: float) -> str:
+    """Render an angle as a tidy multiple of pi when possible."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        ratio = theta * denom / math.pi
+        if abs(ratio - round(ratio)) < 1e-10 and abs(ratio) < 64:
+            num = int(round(ratio))
+            if num == 0:
+                return "0"
+            prefix = "-" if num < 0 else ""
+            num = abs(num)
+            head = "pi" if num == 1 else f"{num}*pi"
+            return f"{prefix}{head}" if denom == 1 else f"{prefix}{head}/{denom}"
+    return f"{theta!r}"
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit to OpenQASM 2 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        args = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == g.MEASURE:
+            q = gate.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+        elif gate.name == g.BARRIER:
+            lines.append(f"barrier {args};")
+        elif gate.param is not None:
+            lines.append(f"{gate.name}({_format_angle(gate.param)}) {args};")
+        else:
+            lines.append(f"{gate.name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2 text into a :class:`~repro.ir.circuit.Circuit`."""
+    body = re.sub(r"//[^\n]*", "", text)
+    if not _HEADER_RE.search(body):
+        raise QasmError("missing OPENQASM 2 header")
+    body = _HEADER_RE.sub("", body, count=1)
+    body = _INCLUDE_RE.sub("", body)
+
+    qreg = _QREG_RE.search(body)
+    if not qreg:
+        raise QasmError("missing qreg declaration")
+    num_qubits = int(qreg.group("size"))
+    body = _QREG_RE.sub("", body, count=1)
+    body = _CREG_RE.sub("", body)
+
+    circuit = Circuit(num_qubits, name=name)
+    for statement in body.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        _parse_statement(statement + ";", circuit)
+    return circuit
+
+
+def _parse_statement(statement: str, circuit: Circuit) -> None:
+    if statement.startswith("measure"):
+        indices = [int(m.group("idx")) for m in _ARG_RE.finditer(statement)]
+        if not indices:
+            raise QasmError(f"malformed measure: {statement!r}")
+        circuit.measure(indices[0])
+        return
+    if statement.startswith("barrier"):
+        return  # barriers carry no scheduling semantics we need from files
+    match = _GATE_RE.match(statement)
+    if not match:
+        raise QasmError(f"cannot parse statement {statement!r}")
+    mnemonic = match.group("name").lower()
+    if mnemonic not in _SUPPORTED:
+        raise QasmError(f"unsupported gate {mnemonic!r}")
+    qubits = [int(m.group("idx")) for m in _ARG_RE.finditer(match.group("args"))]
+    param_text = match.group("param")
+    if param_text is not None:
+        circuit.append(
+            g.Gate(_SUPPORTED[mnemonic], tuple(qubits), param=_eval_angle(param_text))
+        )
+    else:
+        circuit.append(g.Gate(_SUPPORTED[mnemonic], tuple(qubits)))
+
+
+def load_file(path: str) -> Circuit:
+    """Read a ``.qasm`` file from disk."""
+    with open(path) as handle:
+        return loads(handle.read(), name=path.rsplit("/", 1)[-1])
+
+
+def dump_file(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.qasm`` file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

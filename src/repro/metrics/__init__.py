@@ -1,0 +1,26 @@
+"""Metrics and report rendering."""
+
+from .report import Table, combine
+from .spacetime import (
+    ComparisonSummary,
+    compare,
+    cycles_per_instruction,
+    geometric_mean,
+    overhead_factor,
+    qubit_reduction,
+    spacetime_volume,
+    spacetime_volume_per_op,
+)
+
+__all__ = [
+    "ComparisonSummary",
+    "Table",
+    "combine",
+    "compare",
+    "cycles_per_instruction",
+    "geometric_mean",
+    "overhead_factor",
+    "qubit_reduction",
+    "spacetime_volume",
+    "spacetime_volume_per_op",
+]

@@ -1,0 +1,96 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module produces a :class:`Table`; the benchmark harness
+prints them so each paper table/figure has a textual analogue that can be
+diffed across runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled grid of results.
+
+    Attributes:
+        title: heading (e.g. "Figure 9 — Ising 10x10").
+        columns: ordered column names.
+        rows: list of dicts keyed by column name.
+        notes: free-form caption lines (expected shape, parameters).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown keys raise to catch typos early."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    # -- rendering ---------------------------------------------------------
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Fixed-width table rendering."""
+        header = list(self.columns)
+        body = [[self._fmt(row.get(c)) for c in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for r in body:
+            lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(header))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + rows)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self.columns})
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def combine(tables: Sequence[Table], title: Optional[str] = None) -> str:
+    """Render several tables separated by blank lines."""
+    parts = [t.to_text() for t in tables]
+    if title:
+        parts.insert(0, title)
+    return "\n\n".join(parts)

@@ -1,0 +1,94 @@
+"""Spacetime-volume and efficiency metrics (paper Sec. VI-VII)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def spacetime_volume(qubits: int, execution_time: float) -> float:
+    """Qubits x time, the paper's primary space-time cost metric."""
+    if qubits < 0 or execution_time < 0:
+        raise ValueError("qubits and time must be non-negative")
+    return qubits * execution_time
+
+
+def spacetime_volume_per_op(
+    qubits: int, execution_time: float, num_operations: int
+) -> float:
+    """Spacetime volume normalised by input operation count (Fig. 9)."""
+    return spacetime_volume(qubits, execution_time) / max(1, num_operations)
+
+
+def cycles_per_instruction(execution_time: float, num_operations: int) -> float:
+    """CPI (Fig. 13/14): total time over input instruction count."""
+    return execution_time / max(1, num_operations)
+
+
+def overhead_factor(execution_time: float, lower_bound: float) -> float:
+    """Execution time relative to the Eq. 2 distillation bound."""
+    if lower_bound <= 0:
+        return 1.0
+    return execution_time / lower_bound
+
+
+def qubit_reduction(ours: int, baseline: int) -> float:
+    """Fractional qubit saving vs a baseline (the paper's headline 53 %)."""
+    if baseline <= 0:
+        raise ValueError("baseline qubit count must be positive")
+    return 1.0 - ours / baseline
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """One ours-vs-baseline comparison row.
+
+    Attributes:
+        benchmark: circuit name.
+        baseline_name: which baseline.
+        qubit_reduction: fractional qubit saving (positive = we use fewer).
+        time_overhead: our time / baseline time.
+        spacetime_ratio: baseline spacetime volume / ours (>1 = we win).
+    """
+
+    benchmark: str
+    baseline_name: str
+    qubit_reduction: float
+    time_overhead: float
+    spacetime_ratio: float
+
+
+def compare(
+    benchmark: str,
+    baseline_name: str,
+    our_qubits: int,
+    our_time: float,
+    base_qubits: int,
+    base_time: float,
+    our_factory_qubits: int = 0,
+    base_factory_qubits: int = 0,
+    include_factories: bool = True,
+) -> ComparisonSummary:
+    """Build a :class:`ComparisonSummary` from raw numbers."""
+    oq = our_qubits + (our_factory_qubits if include_factories else 0)
+    bq = base_qubits + (base_factory_qubits if include_factories else 0)
+    ours_stv = spacetime_volume(oq, our_time)
+    base_stv = spacetime_volume(bq, base_time)
+    return ComparisonSummary(
+        benchmark=benchmark,
+        baseline_name=baseline_name,
+        qubit_reduction=qubit_reduction(our_qubits, base_qubits),
+        time_overhead=(our_time / base_time) if base_time > 0 else float("inf"),
+        spacetime_ratio=(base_stv / ours_stv) if ours_stv > 0 else float("inf"),
+    )
+
+
+def geometric_mean(values) -> Optional[float]:
+    """Geometric mean, None for empty input — used for averaged ratios."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return None
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,42 @@
+"""Routing heuristics: weighted Dijkstra, space search, neighbour moves."""
+
+from .dijkstra import (
+    NoPathError,
+    RoutingRequest,
+    bus_cells_adjacent_to,
+    find_path,
+    find_path_to_any,
+    reachable_free_cells,
+)
+from .neighbor_moves import (
+    AlignmentError,
+    AlignmentPlan,
+    apply_moves,
+    cnot_ancilla_cell,
+    is_cnot_ready,
+    plan_cnot_alignment,
+)
+from .path import Path, path_from_cells, straight_line_cells
+from .space_search import EvacuationPlan, SpaceSearchError, apply_plan, find_space
+
+__all__ = [
+    "AlignmentError",
+    "AlignmentPlan",
+    "EvacuationPlan",
+    "NoPathError",
+    "Path",
+    "RoutingRequest",
+    "SpaceSearchError",
+    "apply_moves",
+    "apply_plan",
+    "bus_cells_adjacent_to",
+    "cnot_ancilla_cell",
+    "find_path",
+    "find_path_to_any",
+    "find_space",
+    "is_cnot_ready",
+    "path_from_cells",
+    "plan_cnot_alignment",
+    "reachable_free_cells",
+    "straight_line_cells",
+]

@@ -1,0 +1,193 @@
+"""Weighted Dijkstra pathfinding with the paper's penalty cost (Eq. 1).
+
+The cost of a candidate path is ``C(a, b) = d(a, b) * p`` where ``d`` is the
+path length and ``p`` the number of data-occupied cells it crosses plus one
+(an unobstructed path has penalty factor 1; every crossed data qubit
+multiplies the cost).  Minimising this cost prefers slightly longer paths
+through free bus cells over short paths that would disturb data qubits —
+exactly the behaviour of the paper's Fig. 5.
+
+Implementation: Dijkstra over (cell, crossings-so-far) states with a binary
+heap, keyed by the product cost; since both length and crossings only grow
+along a path the product is monotone and the search remains optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..arch.grid import CellRole, Grid, Position
+from .path import Path
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """One pathfinding query.
+
+    Attributes:
+        source: start cell (occupant, port, or free cell).
+        destination: goal cell.
+        avoid: cells that may not be entered at all (e.g. time-locked bus).
+        allow_occupied: when False, occupied cells are forbidden rather than
+            penalised (used for magic-state routing, which cannot cross
+            data qubits).
+        penalty_weight: multiplicative weight of each occupied crossing.
+    """
+
+    source: Position
+    destination: Position
+    avoid: frozenset = frozenset()
+    allow_occupied: bool = True
+    penalty_weight: int = 1
+
+
+class NoPathError(RuntimeError):
+    """Raised when the grid admits no route for a request."""
+
+
+def _passable(grid: Grid, pos: Position, request: RoutingRequest) -> bool:
+    if pos in request.avoid:
+        return False
+    if not grid.routable(pos):
+        return False
+    if not request.allow_occupied and grid.is_occupied(pos) and pos != request.destination:
+        return False
+    return True
+
+
+def find_path(grid: Grid, request: RoutingRequest) -> Path:
+    """Minimum-cost path under C = d * p, or raise :class:`NoPathError`.
+
+    The source and destination themselves never contribute to the penalty:
+    the source holds the moving object and the destination is where it is
+    headed, so only *interior* occupied cells count (Fig. 5's green cells).
+    """
+    src, dst = request.source, request.destination
+    if src == dst:
+        return Path((src,), cost=0.0, occupied_crossings=0)
+    if src not in grid or dst not in grid:
+        raise NoPathError(f"route endpoints {src}->{dst} outside grid")
+
+    # State: (cost, length, crossings, position); parent map for rebuild.
+    start = (0.0, 0, 0, src)
+    heap: List[Tuple[float, int, int, Position]] = [start]
+    best_cost: Dict[Position, float] = {src: 0.0}
+    parent: Dict[Position, Position] = {}
+
+    while heap:
+        cost, length, crossings, pos = heapq.heappop(heap)
+        if pos == dst:
+            return _rebuild(grid, parent, src, dst, cost, crossings)
+        if cost > best_cost.get(pos, float("inf")):
+            continue
+        for nxt in grid.neighbors(pos):
+            if nxt != dst and not _passable(grid, nxt, request):
+                continue
+            if nxt == dst and nxt in request.avoid:
+                continue
+            crossed = (
+                crossings + request.penalty_weight
+                if (nxt != dst and grid.is_occupied(nxt))
+                else crossings
+            )
+            new_length = length + 1
+            new_cost = float(new_length * (1 + crossed))
+            if new_cost < best_cost.get(nxt, float("inf")):
+                best_cost[nxt] = new_cost
+                parent[nxt] = pos
+                heapq.heappush(heap, (new_cost, new_length, crossed, nxt))
+    raise NoPathError(f"no route {src} -> {dst}")
+
+
+def _rebuild(
+    grid: Grid,
+    parent: Dict[Position, Position],
+    src: Position,
+    dst: Position,
+    cost: float,
+    crossings: int,
+) -> Path:
+    cells = [dst]
+    while cells[-1] != src:
+        cells.append(parent[cells[-1]])
+    cells.reverse()
+    return Path(tuple(cells), cost=cost, occupied_crossings=crossings)
+
+
+def find_path_to_any(
+    grid: Grid,
+    source: Position,
+    goals: Set[Position],
+    avoid: Optional[Set[Position]] = None,
+    allow_occupied: bool = False,
+) -> Path:
+    """Cheapest path from ``source`` to the best member of ``goals``.
+
+    Used for magic-state delivery, where any bus cell adjacent to the
+    consuming data qubit is an acceptable drop-off point.
+    """
+    if not goals:
+        raise NoPathError("empty goal set")
+    best: Optional[Path] = None
+    frozen_avoid = frozenset(avoid or ())
+    for goal in sorted(goals):
+        try:
+            candidate = find_path(
+                grid,
+                RoutingRequest(
+                    source=source,
+                    destination=goal,
+                    avoid=frozen_avoid,
+                    allow_occupied=allow_occupied,
+                ),
+            )
+        except NoPathError:
+            continue
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    if best is None:
+        raise NoPathError(f"no route from {source} to any of {sorted(goals)}")
+    return best
+
+
+def reachable_free_cells(
+    grid: Grid,
+    source: Position,
+    max_distance: Optional[int] = None,
+    predicate: Optional[Callable[[Position], bool]] = None,
+) -> List[Tuple[int, Position]]:
+    """BFS over unoccupied routable cells, returning (distance, cell) pairs.
+
+    The space-search heuristic uses this to find the nearest cells that can
+    absorb a displaced qubit.
+    """
+    from collections import deque
+
+    seen = {source}
+    queue = deque([(0, source)])
+    found: List[Tuple[int, Position]] = []
+    while queue:
+        dist, pos = queue.popleft()
+        if max_distance is not None and dist > max_distance:
+            continue
+        if pos != source and not grid.is_occupied(pos) and grid.routable(pos):
+            if predicate is None or predicate(pos):
+                found.append((dist, pos))
+        for nxt in grid.neighbors(pos):
+            if nxt in seen or not grid.routable(nxt):
+                continue
+            seen.add(nxt)
+            queue.append((dist + 1, nxt))
+    found.sort()
+    return found
+
+
+def bus_cells_adjacent_to(grid: Grid, pos: Position) -> Set[Position]:
+    """Free bus cells neighbouring ``pos`` — magic-state drop-off points."""
+    return {
+        p
+        for p in grid.neighbors(pos)
+        if grid.role(p) in (CellRole.BUS, CellRole.PORT) and not grid.is_occupied(p)
+    }

@@ -1,0 +1,322 @@
+"""Gate-dependent moves in the neighbourhood (paper Sec. V-A, Fig. 4).
+
+The CNOT placement constraint (Fig. 7b) requires control and target on
+*diagonal* cells with the operational ancilla on the cell sharing the
+control's column and the target's row — that way the control-ancilla merge
+is vertical (Mzz) and the ancilla-target merge horizontal (Mxx), matching
+the edge-orientation constraint of Sec. VI-A.
+
+``plan_cnot_alignment`` computes the minimum set of unit moves that brings a
+gate's operands into such a configuration.  It is *gate-dependent and
+look-ahead*: candidate destinations are ranked not only by move count but
+also by the distance to the moving qubit's next interaction partner, so
+qubits drift toward their upcoming gates (Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.grid import Grid, Position
+from .dijkstra import NoPathError, RoutingRequest, find_path
+from .space_search import (  # shared move machinery
+    _displace_blocker,
+    _evacuation_moves,
+    _walk_path,
+)
+
+Move = Tuple[int, Position, Position]
+
+
+@dataclass(frozen=True)
+class AlignmentPlan:
+    """Moves bringing a CNOT's operands into the diagonal configuration.
+
+    Attributes:
+        moves: ordered unit relocations (qubit, from, to).
+        control_pos / target_pos: operand positions after the moves.
+        ancilla: the in-between cell used as operational ancilla.
+    """
+
+    moves: Tuple[Move, ...]
+    control_pos: Position
+    target_pos: Position
+    ancilla: Position
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+class AlignmentError(RuntimeError):
+    """Raised when no sequence of moves can align the operands."""
+
+
+def cnot_ancilla_cell(control: Position, target: Position) -> Position:
+    """The unique valid ancilla cell for a diagonal control/target pair.
+
+    Shares the control's column (vertical Mzz) and the target's row
+    (horizontal Mxx).
+    """
+    return (target[0], control[1])
+
+
+def is_cnot_ready(grid: Grid, control: Position, target: Position) -> bool:
+    """True when the diagonal-with-free-ancilla constraint already holds."""
+    if not Grid.are_diagonal(control, target):
+        return False
+    ancilla = cnot_ancilla_cell(control, target)
+    return ancilla in grid and not grid.is_occupied(ancilla) and grid.routable(ancilla)
+
+
+def _candidate_slots(
+    grid: Grid, anchor: Position, moving_is_target: bool
+) -> List[Tuple[Position, Position]]:
+    """(destination, ancilla) pairs that complete the configuration.
+
+    ``anchor`` stays put; the moving qubit lands on a diagonal neighbour of
+    the anchor.  The ancilla cell depends on which operand is moving.
+    """
+    slots: List[Tuple[Position, Position]] = []
+    for dest in grid.diagonal_neighbors(anchor):
+        if grid.is_occupied(dest) or not grid.parkable(dest):
+            continue
+        if moving_is_target:
+            ancilla = cnot_ancilla_cell(anchor, dest)
+        else:
+            ancilla = cnot_ancilla_cell(dest, anchor)
+        if ancilla not in grid or grid.is_occupied(ancilla) or not grid.routable(ancilla):
+            continue
+        slots.append((dest, ancilla))
+    return slots
+
+
+def _plan_single_mover(
+    grid: Grid,
+    mover: int,
+    mover_pos: Position,
+    anchor_pos: Position,
+    moving_is_target: bool,
+    drift_goal: Optional[Position],
+) -> Optional[AlignmentPlan]:
+    """Best plan that moves only one operand (the common case)."""
+    best: Optional[Tuple[float, AlignmentPlan]] = None
+    for dest, ancilla in _candidate_slots(grid, anchor_pos, moving_is_target):
+        protected = frozenset({ancilla, anchor_pos})
+        try:
+            path = find_path(
+                grid,
+                RoutingRequest(
+                    source=mover_pos,
+                    destination=dest,
+                    avoid=protected,
+                    allow_occupied=True,
+                ),
+            )
+        except NoPathError:
+            continue
+        moves = _walk_path(
+            grid, mover, path, forbidden=protected | frozenset({dest})
+        )
+        if moves is None:
+            continue
+        # Look-ahead bias: prefer destinations closer to the mover's next
+        # interaction partner (gate-dependent move of Fig. 4).
+        drift_penalty = (
+            0.25 * Grid.manhattan(dest, drift_goal) if drift_goal is not None else 0.0
+        )
+        score = len(moves) + drift_penalty
+        if moving_is_target:
+            control_pos, target_pos = anchor_pos, dest
+        else:
+            control_pos, target_pos = dest, anchor_pos
+        plan = AlignmentPlan(tuple(moves), control_pos, target_pos, ancilla)
+        if best is None or score < best[0]:
+            best = (score, plan)
+    return best[1] if best else None
+
+
+def _plan_with_eviction(
+    grid: Grid,
+    mover: int,
+    anchor: int,
+    moving_is_target: bool,
+    drift_goal: Optional[Position] = None,
+) -> Optional[AlignmentPlan]:
+    """Clear a diagonal slot (and its ancilla) by evicting occupants.
+
+    Needed on dense layouts (small r) where every diagonal neighbour of
+    both operands holds a data qubit.  Evictions ripple outwards via the
+    space-search machinery (chain pushes toward free bus cells).
+    """
+    anchor_pos = grid.position_of(anchor)
+    mover_home = grid.position_of(mover)
+    best: Optional[AlignmentPlan] = None
+    best_score = float("inf")
+    for dest in sorted(grid.diagonal_neighbors(anchor_pos)):
+        if not grid.parkable(dest):
+            continue
+        if moving_is_target:
+            ancilla = cnot_ancilla_cell(anchor_pos, dest)
+        else:
+            ancilla = cnot_ancilla_cell(dest, anchor_pos)
+        if ancilla not in grid or not grid.routable(ancilla):
+            continue
+        scratch = grid.clone()
+        moves: List[Move] = []
+        feasible = True
+        protected_cells = frozenset({anchor_pos})
+        keep_off = {dest, ancilla}
+        for cell in (dest, ancilla):
+            occupant = scratch.occupant(cell)
+            if occupant is None or occupant == mover:
+                continue
+            if occupant == anchor:
+                feasible = False
+                break
+            eviction = _displace_blocker(
+                scratch, cell, protected_cells, keep_off, 0
+            )
+            if eviction is None:
+                feasible = False
+                break
+            moves.extend(eviction)
+        if not feasible:
+            continue
+        # The eviction may have dragged the anchor or mover along; verify.
+        if scratch.position_of(anchor) != anchor_pos:
+            continue
+        mover_now = scratch.position_of(mover)
+        if mover_now != dest:
+            if scratch.is_occupied(dest):
+                continue
+            protected = frozenset({ancilla, anchor_pos})
+            try:
+                path = find_path(
+                    scratch,
+                    RoutingRequest(
+                        source=mover_now,
+                        destination=dest,
+                        avoid=protected,
+                        allow_occupied=True,
+                    ),
+                )
+            except NoPathError:
+                continue
+            walk = _walk_path(
+                scratch, mover, path, forbidden=protected | frozenset({dest})
+            )
+            if walk is None:
+                continue
+            moves.extend(walk)
+        if moving_is_target:
+            control_pos, target_pos = anchor_pos, dest
+        else:
+            control_pos, target_pos = dest, anchor_pos
+        plan = AlignmentPlan(tuple(moves), control_pos, target_pos, ancilla)
+        # Bias toward the mover's origin / look-ahead goal so repeated
+        # alignments do not march the whole block in one direction.
+        bias_anchor = drift_goal if drift_goal is not None else mover_home
+        score = plan.num_moves + 0.25 * Grid.manhattan(dest, bias_anchor)
+        if score < best_score:
+            best = plan
+            best_score = score
+    return best
+
+
+def plan_cnot_alignment(
+    grid: Grid,
+    control: int,
+    target: int,
+    drift_goals: Optional[Sequence[Optional[Position]]] = None,
+    _depth: int = 0,
+) -> AlignmentPlan:
+    """Minimum-move plan putting (control, target) into CNOT position.
+
+    Tries, in order of increasing disturbance: the already-satisfied case,
+    moving only the target, moving only the control, and finally moving the
+    target next to an intermediate free region (both movers).  Raises
+    :class:`AlignmentError` when the grid is wedged (no free diagonal slot
+    reachable), which on sane layouts (r >= 1) does not occur.
+
+    Args:
+        grid: current occupancy (not mutated).
+        control / target: program qubit ids.
+        drift_goals: optional (control_goal, target_goal) look-ahead hints —
+            positions of each operand's *next* partner.
+    """
+    c_pos = grid.position_of(control)
+    t_pos = grid.position_of(target)
+    c_goal, t_goal = (drift_goals or (None, None))
+
+    if is_cnot_ready(grid, c_pos, t_pos):
+        return AlignmentPlan((), c_pos, t_pos, cnot_ancilla_cell(c_pos, t_pos))
+
+    plans: List[AlignmentPlan] = []
+    moved_target = _plan_single_mover(grid, target, t_pos, c_pos, True, t_goal)
+    if moved_target:
+        plans.append(moved_target)
+    moved_control = _plan_single_mover(grid, control, c_pos, t_pos, False, c_goal)
+    if moved_control:
+        plans.append(moved_control)
+    if plans:
+        return min(plans, key=lambda p: p.num_moves)
+
+    # Dense neighbourhood (solid data block): evict the occupants of a
+    # diagonal slot and its ancilla cell, then slide one operand in.
+    evicted = _plan_with_eviction(
+        grid, target, control, moving_is_target=True, drift_goal=t_goal
+    )
+    if evicted:
+        plans.append(evicted)
+    evicted = _plan_with_eviction(
+        grid, control, target, moving_is_target=False, drift_goal=c_goal
+    )
+    if evicted:
+        plans.append(evicted)
+    if plans:
+        return min(plans, key=lambda p: p.num_moves)
+
+    # Both operands boxed in: move the target toward the control along a
+    # penalised path, then retry recursively on the what-if grid.
+    if _depth >= 4:
+        raise AlignmentError(f"qubits {control},{target} wedged at {c_pos},{t_pos}")
+    try:
+        path = find_path(
+            grid,
+            RoutingRequest(source=t_pos, destination=c_pos, allow_occupied=True),
+        )
+    except NoPathError as exc:
+        raise AlignmentError(f"qubits {control},{target} unroutable") from exc
+    if path.num_moves < 2:
+        raise AlignmentError(f"qubits {control},{target} wedged at {c_pos},{t_pos}")
+    prefix_cells = path.cells[: max(2, len(path.cells) // 2)]
+    moves = _walk_path(grid, target, _truncate(path, len(prefix_cells)))
+    if moves is None:
+        raise AlignmentError(f"qubits {control},{target} wedged (no partial path)")
+    scratch = grid.clone()
+    apply_moves(scratch, moves)
+    tail = plan_cnot_alignment(scratch, control, target, drift_goals, _depth + 1)
+    return AlignmentPlan(
+        tuple(moves) + tail.moves, tail.control_pos, tail.target_pos, tail.ancilla
+    )
+
+
+def _truncate(path, length: int):
+    """First ``length`` cells of a path as a new Path-like object."""
+    from .path import Path
+
+    cells = path.cells[:length]
+    return Path(cells, cost=float(len(cells) - 1), occupied_crossings=0)
+
+
+def apply_moves(grid: Grid, moves: Sequence[Move]) -> None:
+    """Execute planned unit moves on the live grid, validating origins."""
+    for qubit, origin, dest in moves:
+        actual = grid.position_of(qubit)
+        if actual != origin:
+            raise AlignmentError(
+                f"stale move: qubit {qubit} at {actual}, plan expected {origin}"
+            )
+        grid.move(qubit, dest)

@@ -1,0 +1,83 @@
+"""Path data structures shared by the routing heuristics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..arch.grid import Grid, Position
+
+
+@dataclass(frozen=True)
+class Path:
+    """A 4-connected path across the grid.
+
+    Attributes:
+        cells: ordered positions from source to destination inclusive.
+        cost: value of the routing cost function C(a, b) = d(a, b) * p.
+        occupied_crossings: number of data-occupied cells traversed
+            (the penalty factor p of the paper's Eq. 1).
+    """
+
+    cells: Tuple[Position, ...]
+    cost: float
+    occupied_crossings: int
+
+    @property
+    def source(self) -> Position:
+        return self.cells[0]
+
+    @property
+    def destination(self) -> Position:
+        return self.cells[-1]
+
+    @property
+    def num_moves(self) -> int:
+        """Move operations needed to traverse the path (edges, not cells)."""
+        return max(0, len(self.cells) - 1)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def interior(self) -> Tuple[Position, ...]:
+        """Cells strictly between source and destination."""
+        return self.cells[1:-1]
+
+    def validate(self, grid: Grid) -> None:
+        """Assert 4-connectivity and in-bounds cells (defensive check)."""
+        for pos in self.cells:
+            if pos not in grid:
+                raise ValueError(f"path leaves grid at {pos}")
+        for a, b in zip(self.cells, self.cells[1:]):
+            if Grid.manhattan(a, b) != 1:
+                raise ValueError(f"path not 4-connected between {a} and {b}")
+
+
+def path_from_cells(cells: Sequence[Position], grid: Grid) -> Path:
+    """Build a :class:`Path`, computing its penalty cost from the grid."""
+    crossings = sum(1 for pos in cells[1:-1] if grid.is_occupied(pos))
+    length = max(0, len(cells) - 1)
+    path = Path(tuple(cells), cost=float(length * max(1, crossings + 1)), occupied_crossings=crossings)
+    path.validate(grid)
+    return path
+
+
+def straight_line_cells(a: Position, b: Position) -> List[Position]:
+    """An L-shaped (row-then-column) cell sequence between two positions.
+
+    Used as a fallback and in tests; real routing goes through Dijkstra.
+    """
+    cells: List[Position] = [a]
+    r, c = a
+    step_r = 1 if b[0] > r else -1
+    while r != b[0]:
+        r += step_r
+        cells.append((r, c))
+    step_c = 1 if b[1] > c else -1
+    while c != b[1]:
+        c += step_c
+        cells.append((r, c))
+    return cells

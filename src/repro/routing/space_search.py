@@ -1,0 +1,318 @@
+"""Space search and displacement machinery (paper Sec. V-C, Fig. 6).
+
+In the ancilla-optimised layouts (small r) a data qubit may have no free
+neighbouring cell when an operation needs an operational ancilla, and both
+CNOT alignment and magic-state delivery constantly need to move qubits
+through congested regions.  This module provides the shared displacement
+primitives:
+
+* :func:`_displace_blocker` — move one occupant off a cell (free-neighbour
+  hop, then chain push, then full recursive evacuation);
+* :func:`_walk_path` — escort a qubit along a path, displacing blockers;
+* :func:`clear_route` — clear every occupied cell on a transit route
+  (magic-state delivery);
+* :func:`find_space` — the paper's space search: clear the cheapest
+  neighbouring cell of a target qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..arch.grid import Grid, Position
+from .dijkstra import NoPathError, RoutingRequest, find_path, reachable_free_cells
+from .path import Path
+
+Move = Tuple[int, Position, Position]
+
+#: maximum depth of evacuation -> walk -> evacuation recursion.
+_MAX_EVAC_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class EvacuationPlan:
+    """How to clear one cell next to a target qubit.
+
+    Attributes:
+        freed_cell: the neighbour cell that becomes the operational ancilla.
+        moves: ordered (qubit, from, to) relocations realising the plan.
+    """
+
+    freed_cell: Position
+    moves: Tuple[Move, ...]
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+class SpaceSearchError(RuntimeError):
+    """Raised when no neighbouring cell can be cleared."""
+
+
+# ---------------------------------------------------------------------------
+# Displacement primitives.  All of them MUTATE the grid they are given and
+# return the move list, or return None leaving the grid untouched on failure
+# (failed sub-steps are attempted on clones).
+# ---------------------------------------------------------------------------
+
+
+def _displace_blocker(
+    grid: Grid,
+    cell: Position,
+    banned: frozenset,
+    keep_off: Set[Position],
+    depth: int = 0,
+) -> Optional[List[Move]]:
+    """Move the occupant of ``cell`` somewhere harmless.
+
+    Escalation ladder:
+
+    1. hop to a free neighbour (not banned, not in ``keep_off``);
+    2. chain-push a contiguous occupied segment one step (perpendicular
+       directions preferred);
+    3. full evacuation: route the blocker to the nearest reachable free
+       cell with its own pathfinding (bounded recursion).
+
+    ``banned`` cells must never be entered; ``keep_off`` cells should not
+    become the blocker's final resting place (typically the remaining route
+    of whatever is moving).
+    """
+    blocker = grid.occupant(cell)
+    if blocker is None:
+        return []
+    spot = next(
+        (
+            p
+            for p in sorted(grid.free_neighbors(cell))
+            if p not in banned and p not in keep_off
+        ),
+        None,
+    )
+    if spot is not None:
+        grid.move(blocker, spot)
+        return [(blocker, cell, spot)]
+    for direction in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+        plan = _chain_push_dir(grid, cell, direction, banned, keep_off)
+        if plan is not None:
+            for occupant, __, dest in plan:
+                grid.move(occupant, dest)
+            return plan
+    if depth >= _MAX_EVAC_DEPTH:
+        return None
+    return _evacuate(grid, cell, banned, keep_off, depth + 1)
+
+
+def _chain_push_dir(
+    grid: Grid,
+    start: Position,
+    direction: Tuple[int, int],
+    banned: frozenset,
+    keep_off: Set[Position],
+) -> Optional[List[Move]]:
+    """Plan (without applying) a one-step segment shift along ``direction``."""
+    segment: List[Position] = []
+    probe = start
+    while probe in grid and grid.routable(probe) and probe not in banned:
+        if not grid.is_occupied(probe):
+            break
+        segment.append(probe)
+        probe = (probe[0] + direction[0], probe[1] + direction[1])
+    from ..arch.grid import CellRole
+
+    if (
+        probe not in grid
+        or not grid.routable(probe)
+        or grid.role(probe) == CellRole.PORT
+        or probe in banned
+        or probe in keep_off
+        or grid.is_occupied(probe)
+    ):
+        return None
+    moves: List[Move] = []
+    free = probe
+    for pos in reversed(segment):
+        occupant = grid.occupant(pos)
+        assert occupant is not None
+        moves.append((occupant, pos, free))
+        free = pos
+    return moves
+
+
+def _evacuate(
+    grid: Grid,
+    victim_pos: Position,
+    banned: frozenset,
+    keep_off: Set[Position],
+    depth: int,
+) -> Optional[List[Move]]:
+    """Route the occupant of ``victim_pos`` to the nearest free refuge."""
+    victim = grid.occupant(victim_pos)
+    if victim is None:
+        return []
+    from ..arch.grid import CellRole
+
+    candidates = reachable_free_cells(grid, victim_pos)
+    for __, refuge in candidates[:8]:
+        if refuge in banned or refuge in keep_off:
+            continue
+        if grid.role(refuge) == CellRole.PORT:
+            continue
+        scratch = grid.clone()
+        try:
+            path = find_path(
+                scratch,
+                RoutingRequest(
+                    source=victim_pos,
+                    destination=refuge,
+                    avoid=banned,
+                    allow_occupied=True,
+                ),
+            )
+        except NoPathError:
+            continue
+        moves = _walk_path_inner(scratch, victim, path, banned, keep_off, depth)
+        if moves is None:
+            continue
+        _commit(grid, moves)
+        return moves
+    return None
+
+
+def _walk_path_inner(
+    scratch: Grid,
+    qubit: int,
+    path: Path,
+    banned: frozenset,
+    keep_off: Set[Position],
+    depth: int,
+) -> Optional[List[Move]]:
+    """Escort ``qubit`` along ``path`` on ``scratch``, displacing blockers."""
+    moves: List[Move] = []
+    cells = list(path.cells)
+    current = cells[0]
+    for step in range(1, len(cells)):
+        nxt = cells[step]
+        if scratch.is_occupied(nxt):
+            remaining = set(cells[step:]) | keep_off
+            # The mover's own cell is frozen: displacements must neither
+            # enter it nor drag the mover along in a chain push.
+            displaced = _displace_blocker(
+                scratch, nxt, banned | frozenset({current}), remaining, depth
+            )
+            if displaced is None:
+                return None
+            moves.extend(displaced)
+            if scratch.position_of(qubit) != current:
+                return None  # defensive: the displacement moved our mover
+        scratch.move(qubit, nxt)
+        moves.append((qubit, current, nxt))
+        current = nxt
+    return moves
+
+
+def _commit(grid: Grid, moves: List[Move]) -> None:
+    """Replay scratch-validated moves onto the real grid."""
+    for qubit, origin, dest in moves:
+        actual = grid.position_of(qubit)
+        if actual != origin:
+            raise SpaceSearchError(
+                f"inconsistent displacement: qubit {qubit} at {actual}, "
+                f"expected {origin}"
+            )
+        grid.move(qubit, dest)
+
+
+# ---------------------------------------------------------------------------
+# Public planning helpers.  These do NOT mutate the input grid; they plan on
+# clones and return move lists for the caller to execute.
+# ---------------------------------------------------------------------------
+
+
+def _walk_path(
+    grid: Grid,
+    qubit: int,
+    path: Path,
+    forbidden: Optional[frozenset] = None,
+) -> Optional[List[Move]]:
+    """Plan unit moves walking ``qubit`` along ``path``.
+
+    Blockers on the route are displaced using the escalation ladder;
+    ``forbidden`` cells are never entered by anyone (the CNOT planner
+    reserves the destination/ancilla/anchor cells this way).
+    """
+    scratch = grid.clone()
+    return _walk_path_inner(
+        scratch, qubit, path, frozenset(forbidden or ()), set(), 0
+    )
+
+
+def _evacuation_moves(grid: Grid, victim_pos: Position) -> Optional[List[Move]]:
+    """Plan moves pushing the occupant of ``victim_pos`` to free space."""
+    scratch = grid.clone()
+    moves = _evacuate(scratch, victim_pos, frozenset(), set(), 0)
+    return moves
+
+
+def clear_route(
+    grid: Grid,
+    path: Path,
+    forbidden: Optional[frozenset] = None,
+) -> Optional[List[Move]]:
+    """Plan moves clearing every occupied cell on a transit route.
+
+    Used for magic-state delivery: the state travels along ``path`` through
+    bus cells, and any data qubit parked on the route (including the
+    factory port itself) is displaced sideways.  Returns None when the
+    route cannot be cleared.
+    """
+    banned = frozenset(forbidden or ())
+    moves: List[Move] = []
+    scratch = grid.clone()
+    cells = list(path.cells)
+    for step, cell in enumerate(cells):
+        if not scratch.is_occupied(cell):
+            continue
+        keep_off = set(cells[step:])
+        displaced = _displace_blocker(scratch, cell, banned, keep_off, 0)
+        if displaced is None:
+            return None
+        moves.extend(displaced)
+    return moves
+
+
+def find_space(grid: Grid, target: Position) -> EvacuationPlan:
+    """Clear the cheapest neighbouring cell of ``target`` (Fig. 6).
+
+    Already-free neighbours cost zero moves; otherwise every neighbour's
+    occupant is tentatively evacuated on a cloned grid and the plan with
+    the fewest moves wins (ties broken by position for determinism).
+    """
+    best: Optional[EvacuationPlan] = None
+    for pos in sorted(grid.neighbors(target)):
+        if not grid.routable(pos):
+            continue
+        if not grid.is_occupied(pos):
+            return EvacuationPlan(freed_cell=pos, moves=())
+        scratch = grid.clone()
+        moves = _displace_blocker(scratch, pos, frozenset({target}), set(), 0)
+        if moves is None:
+            continue
+        plan = EvacuationPlan(freed_cell=pos, moves=tuple(moves))
+        if best is None or plan.num_moves < best.num_moves:
+            best = plan
+    if best is None:
+        raise SpaceSearchError(f"no neighbour of {target} can be cleared")
+    return best
+
+
+def apply_plan(grid: Grid, plan: EvacuationPlan) -> None:
+    """Execute an evacuation plan's moves on the real grid."""
+    for qubit, origin, dest in plan.moves:
+        actual = grid.position_of(qubit)
+        if actual != origin:
+            raise SpaceSearchError(
+                f"stale plan: qubit {qubit} at {actual}, expected {origin}"
+            )
+        grid.move(qubit, dest)

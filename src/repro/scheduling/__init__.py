@@ -1,0 +1,19 @@
+"""Scheduling: event-driven lattice-surgery scheduler and optimisations."""
+
+from .events import Schedule, ScheduledOp
+from .redundant_moves import EliminationReport, eliminate_redundant_moves, find_redundant_pairs
+from .resim import optimize_schedule, resimulate
+from .scheduler import LatticeSurgeryScheduler, SchedulerStats, SchedulingError
+
+__all__ = [
+    "EliminationReport",
+    "LatticeSurgeryScheduler",
+    "Schedule",
+    "ScheduledOp",
+    "SchedulerStats",
+    "SchedulingError",
+    "eliminate_redundant_moves",
+    "find_redundant_pairs",
+    "optimize_schedule",
+    "resimulate",
+]

@@ -1,0 +1,129 @@
+"""Schedule data structures produced by the lattice-surgery scheduler."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..arch.grid import Position
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One scheduled lattice-surgery operation.
+
+    Attributes:
+        uid: unique, monotonically increasing id in schedule order.
+        kind: operation class — "gate", "move", "route", "evict".
+        name: gate mnemonic (for kind="gate") or "move"/"route".
+        qubits: program qubits whose timelines this op occupies.
+        cells: grid cells locked for the op's duration (ancillas, route).
+        start: start time in units of d.
+        duration: latency in units of d.
+        min_start: external release time (e.g. magic state availability);
+            resimulation must not start the op earlier.
+        gate_index: DAG node index of the originating gate, if any.
+        note: free-form annotation for debugging / reports.
+    """
+
+    uid: int
+    kind: str
+    name: str
+    qubits: Tuple[int, ...]
+    cells: Tuple[Position, ...]
+    start: float
+    duration: float
+    min_start: float = 0.0
+    gate_index: Optional[int] = None
+    note: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def resource_cells(self) -> Tuple[Position, ...]:
+        """Cells this op actually locks for its duration.
+
+        Data-qubit moves lock only their destination: a contiguous chain of
+        patches can shift together in one move cycle (the vacated origin is
+        immediately reusable by the patch behind), so serialising on the
+        origin would forbid the standard simultaneous row shift.  Gates,
+        routes and everything else lock every listed cell.
+        """
+        if self.kind in ("move", "evict", "restore") and len(self.cells) == 2:
+            return self.cells[1:]
+        return self.cells
+
+    def shifted(self, new_start: float) -> "ScheduledOp":
+        """Copy with a different start time (used by resimulation)."""
+        return replace(self, start=new_start)
+
+    def __str__(self) -> str:
+        qubits = ",".join(map(str, self.qubits))
+        return f"[{self.start:7.1f} +{self.duration:4.1f}] {self.name:6s} q({qubits})"
+
+
+@dataclass
+class Schedule:
+    """An ordered list of :class:`ScheduledOp` plus summary statistics."""
+
+    ops: List[ScheduledOp] = field(default_factory=list)
+
+    def append(self, op: ScheduledOp) -> None:
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[ScheduledOp]:
+        return iter(self.ops)
+
+    @property
+    def makespan(self) -> float:
+        """Total execution time in units of d."""
+        return max((op.end for op in self.ops), default=0.0)
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    @property
+    def num_moves(self) -> int:
+        """Move operations inserted by the compiler (incl. evictions)."""
+        return sum(1 for op in self.ops if op.kind in ("move", "evict", "restore"))
+
+    @property
+    def num_gates(self) -> int:
+        return self.count_kind("gate")
+
+    def kind_histogram(self) -> Dict[str, int]:
+        return dict(Counter(op.kind for op in self.ops))
+
+    def name_histogram(self) -> Dict[str, int]:
+        return dict(Counter(op.name for op in self.ops))
+
+    def busy_time(self) -> float:
+        """Sum of all op durations (an activity measure, not the makespan)."""
+        return sum(op.duration for op in self.ops)
+
+    def ops_for_qubit(self, qubit: int) -> List[ScheduledOp]:
+        return [op for op in self.ops if qubit in op.qubits]
+
+    def validate(self) -> None:
+        """Check per-qubit timeline consistency (no overlapping ops)."""
+        last_end: Dict[int, float] = {}
+        eps = 1e-9
+        for op in sorted(self.ops, key=lambda o: (o.start, o.uid)):
+            for q in op.qubits:
+                if op.start + eps < last_end.get(q, 0.0) and op.duration > 0:
+                    raise ValueError(
+                        f"qubit {q} double-booked at t={op.start}: {op}"
+                    )
+                last_end[q] = max(last_end.get(q, 0.0), op.end)
+
+    def timeline_text(self, limit: int = 40) -> str:
+        """Human-readable dump of the first ``limit`` ops."""
+        lines = [str(op) for op in self.ops[:limit]]
+        if len(self.ops) > limit:
+            lines.append(f"... ({len(self.ops) - limit} more ops)")
+        return "\n".join(lines)

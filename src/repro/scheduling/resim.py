@@ -1,0 +1,48 @@
+"""Re-time a schedule after structural edits (list-scheduling replay).
+
+After redundant-move elimination the remaining operations keep their order
+but can generally start earlier.  ``resimulate`` replays the op list with
+the same resource rules the scheduler used — per-qubit timelines, per-cell
+locks and external release times (``min_start``, which preserves magic-state
+availability) — assigning each op the earliest feasible start.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..arch.grid import Position
+from .events import Schedule, ScheduledOp
+
+
+def resimulate(schedule: Schedule) -> Schedule:
+    """Earliest-start replay of ``schedule`` preserving op order semantics."""
+    qubit_free: Dict[int, float] = {}
+    cell_free: Dict[Position, float] = {}
+    new_ops: List[ScheduledOp] = []
+    for op in schedule.ops:
+        start = op.min_start
+        resources = op.resource_cells()
+        for q in op.qubits:
+            start = max(start, qubit_free.get(q, 0.0))
+        for c in resources:
+            start = max(start, cell_free.get(c, 0.0))
+        timed = op.shifted(start)
+        new_ops.append(timed)
+        for q in op.qubits:
+            qubit_free[q] = timed.end
+        for c in resources:
+            cell_free[c] = timed.end
+    return Schedule(ops=new_ops)
+
+
+def optimize_schedule(schedule: Schedule):
+    """Full scheduling-stage optimisation: prune inverse moves, then re-time.
+
+    Returns:
+        (optimised schedule, elimination report)
+    """
+    from .redundant_moves import eliminate_redundant_moves
+
+    pruned, report = eliminate_redundant_moves(schedule)
+    return resimulate(pruned), report

@@ -1,0 +1,686 @@
+"""Event-driven lattice-surgery scheduler (the core of Sec. V).
+
+The scheduler consumes a Clifford+T circuit as a DAG and produces a
+:class:`~repro.scheduling.events.Schedule` of lattice-surgery operations on
+a routing-path-parameterised layout, tracking three resource classes:
+
+* **qubit timelines** — each program qubit is busy during its gates/moves;
+* **cell locks** — bus/ancilla cells are busy while a merge, move or magic
+  state transit uses them (this produces the routing congestion behind the
+  U-shaped curves of Fig. 9);
+* **factory pipelines** — each 15-to-1 factory emits one state per 11d,
+  pipelined, so routing of one state hides behind distillation of the next
+  (the latency-hiding window of Sec. I).
+
+Greedy list scheduling: among DAG-ready gates, always schedule the one with
+the earliest feasible start (ties broken by circuit order), planning any
+moves needed to satisfy the Fig. 7 placement constraints via the heuristics
+of :mod:`repro.routing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.factory import FactoryBank, FactoryConfig
+from ..arch.grid import Grid, Position
+from ..arch.instruction_set import NEEDS_ANCILLA, InstructionSet
+from ..ir import gates as g
+from ..ir.circuit import Circuit
+from ..ir.dag import DagCircuit, DagNode, ReadyFrontier
+from ..routing.dijkstra import (
+    NoPathError,
+    RoutingRequest,
+    find_path,
+    reachable_free_cells,
+)
+from ..routing.neighbor_moves import AlignmentError, plan_cnot_alignment
+from ..routing.space_search import (
+    SpaceSearchError,
+    _displace_blocker,
+    _walk_path,
+    _walk_path_inner,
+    find_space,
+)
+from ..synthesis.clifford_t import SynthesisModel
+from .events import Schedule, ScheduledOp
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a gate cannot be placed on the layout."""
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters filled in during scheduling."""
+
+    moves_planned: int = 0
+    evictions: int = 0
+    magic_states: int = 0
+    route_hops: int = 0
+    route_stall_time: float = 0.0
+    space_searches: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "moves_planned": self.moves_planned,
+            "evictions": self.evictions,
+            "magic_states": self.magic_states,
+            "route_hops": self.route_hops,
+            "route_stall_time": self.route_stall_time,
+            "space_searches": self.space_searches,
+        }
+
+
+class LatticeSurgeryScheduler:
+    """Schedules one circuit onto one layout.
+
+    Args:
+        grid: layout grid (cloned internally; the input is not mutated).
+        instruction_set: latency model (paper or unit-cost).
+        factory_ports: boundary cells where each factory delivers states.
+        factory_config: distillation timing/buffering parameters.
+        synthesis: T-cost model for non-Clifford rotations.
+        lookahead: enable gate-dependent drift goals (Sec. V-A).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        instruction_set: InstructionSet,
+        factory_ports: Sequence[Position],
+        factory_config: Optional[FactoryConfig] = None,
+        synthesis: Optional[SynthesisModel] = None,
+        lookahead: bool = True,
+    ) -> None:
+        self._template_grid = grid
+        self.isa = instruction_set
+        self.synthesis = synthesis or SynthesisModel.single_t()
+        self.lookahead = lookahead
+        config = factory_config or FactoryConfig(distill_time=instruction_set.distill)
+        self.bank = FactoryBank(list(factory_ports), config)
+        # runtime state (reset per run)
+        self.grid: Grid = grid
+        self._qubit_free: Dict[int, float] = {}
+        self._cell_free: Dict[Position, float] = {}
+        self._schedule = Schedule()
+        self._uid = 0
+        self.stats = SchedulerStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, circuit: Circuit, placement: Dict[int, Position]) -> Schedule:
+        """Schedule ``circuit`` with program qubits initially at ``placement``."""
+        self._reset(placement)
+        dag = DagCircuit(circuit)
+        frontier = ReadyFrontier(dag)
+        self._dag = dag
+        while not frontier.exhausted:
+            node = self._pick(frontier.ready_nodes())
+            self._schedule_node(node)
+            frontier.complete(node.index)
+        return self._schedule
+
+    # -- internals --------------------------------------------------------------
+
+    def _reset(self, placement: Dict[int, Position]) -> None:
+        self.grid = self._template_grid.clone()
+        # Factory delivery cells must stay clear: evictions and chain
+        # pushes may transit them but never park a data qubit there.
+        from ..arch.grid import CellRole
+
+        for factory in self.bank.factories:
+            if self.grid.role(factory.port) == CellRole.BUS:
+                self.grid.set_role(factory.port, CellRole.PORT)
+        for qubit, pos in placement.items():
+            if self.grid.occupant(pos) is not None:
+                raise SchedulingError(f"placement collision at {pos}")
+            self.grid.place(qubit, pos)
+        self._qubit_free = {q: 0.0 for q in placement}
+        self._cell_free = {}
+        self._home = dict(placement)
+        self._schedule = Schedule()
+        self._uid = 0
+        self.stats = SchedulerStats()
+
+    def _pick(self, ready: List[DagNode]) -> DagNode:
+        """Earliest-start-first among ready gates, circuit order as tiebreak."""
+        def key(node: DagNode) -> Tuple[float, int]:
+            est = max((self._qubit_free.get(q, 0.0) for q in node.qubits), default=0.0)
+            return (est, node.index)
+
+        return min(ready, key=key)
+
+    def _record(
+        self,
+        kind: str,
+        name: str,
+        qubits: Tuple[int, ...],
+        cells: Tuple[Position, ...],
+        start: float,
+        duration: float,
+        min_start: float = 0.0,
+        gate_index: Optional[int] = None,
+        note: str = "",
+    ) -> ScheduledOp:
+        op = ScheduledOp(
+            uid=self._uid,
+            kind=kind,
+            name=name,
+            qubits=qubits,
+            cells=cells,
+            start=start,
+            duration=duration,
+            min_start=min_start,
+            gate_index=gate_index,
+            note=note,
+        )
+        self._uid += 1
+        self._schedule.append(op)
+        for q in qubits:
+            self._qubit_free[q] = max(self._qubit_free.get(q, 0.0), op.end)
+        for c in op.resource_cells():
+            self._cell_free[c] = max(self._cell_free.get(c, 0.0), op.end)
+        return op
+
+    def _cells_ready(self, cells: Sequence[Position]) -> float:
+        return max((self._cell_free.get(c, 0.0) for c in cells), default=0.0)
+
+    def _execute_moves(
+        self,
+        moves: Sequence[Tuple[int, Position, Position]],
+        cursor: float,
+        kind: str = "move",
+        gate_index: Optional[int] = None,
+    ) -> float:
+        """Apply planned unit moves to the grid and the schedule, serially.
+
+        Returns the completion time of the last move.
+        """
+        for qubit, origin, dest in moves:
+            actual = self.grid.position_of(qubit)
+            if actual != origin:
+                raise SchedulingError(
+                    f"stale move plan for qubit {qubit}: at {actual}, expected {origin}"
+                )
+            start = max(
+                cursor,
+                self._qubit_free.get(qubit, 0.0),
+                self._cells_ready((dest,)),
+            )
+            self.grid.move(qubit, dest)
+            op = self._record(
+                kind,
+                g.MOVE,
+                (qubit,),
+                (origin, dest),
+                start,
+                self.isa.move,
+                gate_index=gate_index,
+            )
+            cursor = op.end
+            self.stats.moves_planned += 1
+            if kind == "evict":
+                self.stats.evictions += 1
+        return cursor
+
+    def _restore_evictions(
+        self,
+        moves: Sequence[Tuple[int, Position, Position]],
+        exclude: Tuple[int, ...] = (),
+        gate_index: Optional[int] = None,
+    ) -> None:
+        """Send temporarily displaced qubits back to their home cells.
+
+        Evictions (route clearing, space search) are transient: replaying
+        them in reverse keeps the layout stable so locality never degrades
+        over the course of a long program.  Restores that have become
+        impossible (home cell re-occupied, e.g. by a deliberately moved
+        CNOT operand) are skipped; inverse pairs that turn out to be
+        unnecessary are cancelled later by the Sec. V-D pass.
+        """
+        for qubit, origin, dest in reversed(list(moves)):
+            if qubit in exclude:
+                continue
+            try:
+                current = self.grid.position_of(qubit)
+            except Exception:
+                continue
+            if current != dest or self.grid.is_occupied(origin):
+                continue
+            start = max(
+                self._qubit_free.get(qubit, 0.0),
+                self._cells_ready((origin,)),
+            )
+            self.grid.move(qubit, origin)
+            self._record(
+                "restore", g.MOVE, (qubit,), (dest, origin), start,
+                self.isa.move, gate_index=gate_index,
+            )
+            self.stats.moves_planned += 1
+
+    # -- per-gate handlers -------------------------------------------------------
+
+    def _schedule_node(self, node: DagNode) -> None:
+        gate = node.gate
+        name = gate.name
+        if name in (g.BARRIER,):
+            return
+        if gate.is_pauli:
+            start = max(self._qubit_free.get(q, 0.0) for q in gate.qubits)
+            self._record("gate", name, gate.qubits, (), start, self.isa.pauli,
+                         gate_index=node.index)
+            return
+        if name in (g.CX, g.CZ):
+            self._schedule_cnot(node)
+            return
+        if name == g.SWAP:
+            self._schedule_swap(node)
+            return
+        if gate.is_t_like:
+            self._schedule_t_like(node)
+            return
+        if name in NEEDS_ANCILLA:
+            self._schedule_with_ancilla(node)
+            return
+        # in-place ops: S/Sdg, Clifford rz/rx, measure
+        (qubit,) = gate.qubits
+        start = self._qubit_free.get(qubit, 0.0)
+        self._record(
+            "gate", name, gate.qubits, (), start,
+            self.isa.duration(gate), gate_index=node.index,
+        )
+
+    def _drift_goal(self, node: DagNode, qubit: int) -> Optional[Position]:
+        """Where ``qubit`` should drift: its next partner, else its home.
+
+        This is the gate-dependent look-ahead of Fig. 4; the home-cell
+        fallback keeps repeated alignments from marching the data block
+        toward one corner of the grid.
+        """
+        home = self._home.get(qubit)
+        if not self.lookahead:
+            return home
+        nxt = self._dag.next_gate_on_qubit(node.index, qubit)
+        if nxt is None or not nxt.gate.is_two_qubit:
+            return home
+        partner = next((q for q in nxt.qubits if q != qubit), None)
+        if partner is None:
+            return home
+        try:
+            return self.grid.position_of(partner)
+        except Exception:
+            return home
+
+    def _schedule_cnot(self, node: DagNode) -> None:
+        control, target = node.gate.qubits
+        goals = (
+            self._drift_goal(node, control),
+            self._drift_goal(node, target),
+        )
+        try:
+            plan = plan_cnot_alignment(self.grid, control, target, goals)
+        except AlignmentError as exc:
+            raise SchedulingError(f"CNOT({control},{target}) unalignable: {exc}") from exc
+        cursor = max(
+            self._qubit_free.get(control, 0.0), self._qubit_free.get(target, 0.0)
+        )
+        cursor = self._execute_moves(plan.moves, cursor, gate_index=node.index)
+        start = max(
+            cursor,
+            self._qubit_free.get(control, 0.0),
+            self._qubit_free.get(target, 0.0),
+            self._cells_ready((plan.ancilla,)),
+        )
+        self._record(
+            "gate",
+            node.gate.name,
+            (control, target),
+            (plan.ancilla,),
+            start,
+            self.isa.cnot,
+            gate_index=node.index,
+        )
+        self._restore_evictions(
+            plan.moves, exclude=(control, target), gate_index=node.index
+        )
+        # Keep the layout stable: operands head home unless their very
+        # next gate is another two-qubit interaction nearby (in which case
+        # the Fig. 4 drift is the better choice).
+        for operand in (control, target):
+            self._rehome(operand, node)
+
+    def _schedule_swap(self, node: DagNode) -> None:
+        """SWAP as a pair of grid relocations when both cells allow it.
+
+        On the lattice a swap of two patches is three CNOTs; when the two
+        qubits are the only constraint we exchange their positions with two
+        move cycles (cheaper and equivalent for scheduling purposes when an
+        intermediate free cell exists), falling back to 3x CNOT latency.
+        """
+        a, b = node.gate.qubits
+        pos_a, pos_b = self.grid.position_of(a), self.grid.position_of(b)
+        spare = next(
+            (p for p in self.grid.free_neighbors(pos_a) if p != pos_b), None
+        )
+        start = max(self._qubit_free.get(a, 0.0), self._qubit_free.get(b, 0.0))
+        if spare is None:
+            self._record("gate", g.SWAP, (a, b), (), start,
+                         3 * self.isa.cnot, gate_index=node.index)
+            return
+        moves = [(a, pos_a, spare), (b, pos_b, pos_a), (a, spare, pos_b)]
+        self._execute_moves(moves, start, gate_index=node.index)
+
+    def _schedule_with_ancilla(self, node: DagNode) -> None:
+        """H / SX: needs one free neighbouring ancilla (space search if none)."""
+        (qubit,) = node.gate.qubits
+        pos = self.grid.position_of(qubit)
+        cursor = self._qubit_free.get(qubit, 0.0)
+        free = self.grid.free_neighbors(pos)
+        if free:
+            ancilla = min(free, key=lambda c: self._cell_free.get(c, 0.0))
+        else:
+            try:
+                plan = find_space(self.grid, pos)
+            except SpaceSearchError as exc:
+                raise SchedulingError(f"no ancilla space for {node.gate}: {exc}") from exc
+            self.stats.space_searches += 1
+            cursor = self._execute_moves(plan.moves, cursor, kind="evict",
+                                         gate_index=node.index)
+            ancilla = plan.freed_cell
+        start = max(cursor, self._qubit_free.get(qubit, 0.0),
+                    self._cells_ready((ancilla,)))
+        self._record(
+            "gate",
+            node.gate.name,
+            (qubit,),
+            (ancilla,),
+            start,
+            self.isa.duration(node.gate),
+            gate_index=node.index,
+        )
+        if not free:
+            self._restore_evictions(plan.moves, gate_index=node.index)
+
+    #: sentinel program-qubit id for in-flight magic states.
+    _MAGIC_ID = 10**9
+
+    def _plan_swap_through(self, port: Position, goals: Set[Position]):
+        """Swap-through delivery plan (always succeeds given a path).
+
+        The magic state exchanges places with each data qubit it meets —
+        a lattice-surgery patch swap per crossing — so no eviction or free
+        spill cell is required.  Crossed qubits end up shifted one cell
+        toward the port.  Returns (drop, transit) in the same move-list
+        format as :meth:`_route_magic_state`, with swap crossings encoded
+        as data-qubit moves (origin -> the state's previous cell).
+        """
+        best = None
+        for goal in sorted(goals):
+            try:
+                path = find_path(
+                    self.grid,
+                    RoutingRequest(
+                        source=port,
+                        destination=goal,
+                        allow_occupied=True,
+                        penalty_weight=2,
+                    ),
+                )
+            except NoPathError:
+                continue
+            if best is None or path.cost < best.cost:
+                best = path
+        if best is None or self.grid.is_occupied(port):
+            return None, []
+        transit = []
+        scratch = self.grid.clone()
+        prev = best.cells[0]
+        for cell in best.cells[1:]:
+            occupant = scratch.occupant(cell)
+            if occupant is not None:
+                scratch.move(occupant, prev)
+                transit.append((occupant, cell, prev))
+            transit.append((self._MAGIC_ID, prev, cell))
+            prev = cell
+        return best.destination, transit
+
+    def _route_magic_state(self, port: Position, qubit: int, goals: Set[Position]):
+        """Plan the transit of one magic state from ``port`` to a drop-off.
+
+        The state is walked across the grid like a qubit (it is one — a
+        patch in the |m> state), using the full displacement ladder to
+        shove parked data qubits out of the way.  Tries every goal in
+        ascending path-cost order, preferring routes through free cells.
+
+        Returns:
+            (drop_cell, moves) where moves interleave evictions and the
+            state's own hops (qubit id ``_MAGIC_ID``), or (None, []) when
+            no goal is reachable.
+        """
+        candidates = []
+        seen = set()
+        for goal in sorted(goals):
+            try:
+                path = find_path(
+                    self.grid,
+                    RoutingRequest(
+                        source=port, destination=goal, allow_occupied=False
+                    ),
+                )
+                candidates.append(path)
+                continue  # free-only route found; penalised ones are moot
+            except NoPathError:
+                pass
+            # Penalty variants: higher weights hug free corridors and cross
+            # the data block only for the final cut-in, which keeps the
+            # displacement shallow.
+            for weight in (1, 8, 32):
+                try:
+                    path = find_path(
+                        self.grid,
+                        RoutingRequest(
+                            source=port,
+                            destination=goal,
+                            allow_occupied=True,
+                            penalty_weight=weight,
+                        ),
+                    )
+                except NoPathError:
+                    continue
+                if path.cells not in seen:
+                    seen.add(path.cells)
+                    candidates.append(path)
+        for path in sorted(candidates, key=lambda p: p.cost):
+            scratch = self.grid.clone()
+            if scratch.is_occupied(port):
+                # A stray data qubit is resting on the delivery cell;
+                # shove it aside before the state can emerge.
+                cleared = _displace_blocker(
+                    scratch, port, frozenset(), set(path.cells), 0
+                )
+                if cleared is None:
+                    continue
+                prefix = cleared
+            else:
+                prefix = []
+            scratch.place(self._MAGIC_ID, port)
+            moves = _walk_path_inner(
+                scratch,
+                self._MAGIC_ID,
+                path,
+                banned=frozenset(),
+                keep_off=set(),
+                depth=0,
+            )
+            if moves is not None:
+                return path.destination, prefix + moves
+        return None, []
+
+    def _rehome(self, qubit: int, node: DagNode) -> None:
+        """Walk ``qubit`` back to its home slot when that is free and safe.
+
+        Keeps the static mapping intact across the program so congestion
+        does not accumulate.  Skipped when the qubit's next interaction is
+        adjacent to its current spot (the drift is then deliberate), when
+        the home cell is taken, or when no clean path exists.
+        """
+        home = self._home.get(qubit)
+        if home is None:
+            return
+        pos = self.grid.position_of(qubit)
+        if pos == home or self.grid.is_occupied(home):
+            return
+        nxt = self._dag.next_gate_on_qubit(node.index, qubit)
+        if nxt is not None and nxt.gate.is_two_qubit:
+            partner = next((q for q in nxt.qubits if q != qubit), None)
+            if partner is not None:
+                try:
+                    partner_pos = self.grid.position_of(partner)
+                    if Grid.manhattan(pos, partner_pos) <= Grid.manhattan(
+                        home, partner_pos
+                    ):
+                        return  # already well placed for the next gate
+                except Exception:
+                    pass
+        try:
+            path = find_path(
+                self.grid,
+                RoutingRequest(source=pos, destination=home, allow_occupied=False),
+            )
+        except NoPathError:
+            return
+        moves = _walk_path(self.grid, qubit, path)
+        if moves is None:
+            return
+        self._execute_moves(moves, self._qubit_free.get(qubit, 0.0),
+                            gate_index=node.index)
+
+    def _surface_qubit(self, qubit: int, cursor: float, node: DagNode) -> float:
+        """Walk ``qubit`` to the nearest free region (small-r fallback).
+
+        Used when a magic state cannot be delivered into a deeply buried
+        position: the consumer comes to the state instead of the state
+        fighting through the whole data block.
+        """
+        pos = self.grid.position_of(qubit)
+        candidates = reachable_free_cells(self.grid, pos)
+        for __, refuge in candidates[:6]:
+            if not self.grid.parkable(refuge):
+                continue
+            try:
+                path = find_path(
+                    self.grid,
+                    RoutingRequest(source=pos, destination=refuge,
+                                   allow_occupied=True),
+                )
+            except NoPathError:
+                continue
+            moves = _walk_path(self.grid, qubit, path)
+            if moves is None:
+                continue
+            return self._execute_moves(moves, cursor, gate_index=node.index)
+        raise SchedulingError(f"qubit {qubit} cannot reach free space")
+
+    def _schedule_t_like(self, node: DagNode) -> None:
+        """T / Tdg / non-Clifford rotation: consume magic state(s)."""
+        (qubit,) = node.gate.qubits
+        n_states = self.synthesis.t_cost(node.gate)
+        for _ in range(max(1, n_states)):
+            self._consume_one_state(node, qubit)
+
+    def _consume_one_state(self, node: DagNode, qubit: int) -> None:
+        pos = self.grid.position_of(qubit)
+        cursor = self._qubit_free.get(qubit, 0.0)
+        space_moves: List[Tuple[int, Position, Position]] = []
+        goals = {
+            p for p in self.grid.free_neighbors(pos) if self.grid.routable(p)
+        }
+        if not goals:
+            try:
+                plan = find_space(self.grid, pos)
+            except SpaceSearchError as exc:
+                raise SchedulingError(
+                    f"no magic-state drop-off near qubit {qubit}: {exc}"
+                ) from exc
+            self.stats.space_searches += 1
+            cursor = self._execute_moves(plan.moves, cursor, kind="evict",
+                                         gate_index=node.index)
+            space_moves = list(plan.moves)
+            goals = {plan.freed_cell}
+
+        ready, factory = self.bank.acquire(cursor)
+        self.stats.magic_states += 1
+        drop, transit = self._route_magic_state(factory.port, qubit, goals)
+        if drop is None:
+            # Deeply buried consumer (very small r): bring the data qubit
+            # itself toward free space, then retry the delivery.
+            cursor = self._surface_qubit(qubit, cursor, node)
+            pos = self.grid.position_of(qubit)
+            goals = {
+                p for p in self.grid.free_neighbors(pos) if self.grid.routable(p)
+            }
+            if not goals:
+                plan = find_space(self.grid, pos)
+                cursor = self._execute_moves(plan.moves, cursor, kind="evict",
+                                             gate_index=node.index)
+                space_moves += list(plan.moves)
+                goals = {plan.freed_cell}
+            drop, transit = self._route_magic_state(factory.port, qubit, goals)
+        if drop is None:
+            # Guaranteed-progress fallback for extreme layouts (r=2): the
+            # state swaps *through* the data block.  Each occupied crossing
+            # is a patch swap (3 move cycles); crossed qubits shift one
+            # cell toward the port and stay there.
+            drop, transit = self._plan_swap_through(factory.port, goals)
+        if drop is None:
+            raise SchedulingError(
+                f"magic state unroutable from {factory.port} to qubit {qubit}"
+            )
+
+        # Replay the transit plan.  Evictions of parked data qubits are
+        # ordinary moves; the state's own hops are conveyor-style (each
+        # locks one cell pair for 1d), so successive states pipeline along
+        # the same bus and the routing latency hides behind the next
+        # state's distillation window.
+        delivered = ready
+        evictions: List[Tuple[int, Position, Position]] = []
+        for move in transit:
+            mover, origin, dest = move
+            if mover == self._MAGIC_ID:
+                hop_start = max(delivered, self._cells_ready((origin, dest)))
+                if not evictions and origin == factory.port:
+                    self.stats.route_stall_time += max(0.0, hop_start - ready)
+                hop = self._record(
+                    "route",
+                    g.MOVE,
+                    (),
+                    (origin, dest),
+                    hop_start,
+                    self.isa.move,
+                    min_start=ready,
+                    gate_index=node.index,
+                    note=f"magic-state from f{factory.index}",
+                )
+                delivered = hop.end
+                self.stats.route_hops += 1
+            else:
+                self._execute_moves(
+                    [move], 0.0, kind="evict", gate_index=node.index
+                )
+                evictions.append(move)
+
+        start = max(delivered, self._qubit_free.get(qubit, 0.0))
+        self._record(
+            "gate",
+            node.gate.name,
+            (qubit,),
+            (drop,),
+            start,
+            self.isa.t_consume,
+            min_start=ready,
+            gate_index=node.index,
+        )
+        self._restore_evictions(evictions, gate_index=node.index)
+        self._restore_evictions(space_moves, gate_index=node.index)

@@ -1,0 +1,16 @@
+"""Synthesis substrate: Pauli algebra, Clifford+T lowering, PPR transpiler."""
+
+from .clifford_t import SynthesisModel, decompose_rotations, validate_clifford_t
+from .pauli import PauliString
+from .ppr import PauliMeasurement, PauliRotation, PprProgram, transpile_to_ppr
+
+__all__ = [
+    "PauliMeasurement",
+    "PauliRotation",
+    "PauliString",
+    "PprProgram",
+    "SynthesisModel",
+    "decompose_rotations",
+    "transpile_to_ppr",
+    "validate_clifford_t",
+]

@@ -1,0 +1,5 @@
+"""ASCII visualisation helpers."""
+
+from .ascii_art import render_gantt, render_grid, render_layout, utilization_histogram
+
+__all__ = ["render_gantt", "render_grid", "render_layout", "utilization_histogram"]

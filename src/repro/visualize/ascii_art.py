@@ -1,0 +1,106 @@
+"""ASCII rendering of grids, layouts and schedules (Figs. 3-6 analogues)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.grid import CellRole, Grid
+from ..arch.layout import Layout
+from ..scheduling.events import Schedule
+
+
+def render_grid(grid: Grid, width: int = 4) -> str:
+    """Occupancy map: qubit ids on their cells, role glyphs elsewhere.
+
+    Glyphs: ``.`` bus, ``_`` empty data slot, ``P`` factory port,
+    ``#`` factory body.
+    """
+    glyph = {
+        CellRole.BUS: ".",
+        CellRole.DATA: "_",
+        CellRole.PORT: "P",
+        CellRole.FACTORY: "#",
+        CellRole.VOID: " ",
+    }
+    lines = []
+    for r in range(grid.rows):
+        cells = []
+        for c in range(grid.cols):
+            occupant = grid.occupant((r, c))
+            if occupant is not None:
+                cells.append(str(occupant).rjust(width))
+            else:
+                cells.append(glyph[grid.role((r, c))].rjust(width))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_layout(layout: Layout) -> str:
+    """Layout structure like Fig. 3: ``D`` data slots, ``.`` bus."""
+    grid = layout.grid
+    lines = [layout.describe()]
+    for r in range(grid.rows):
+        row = []
+        for c in range(grid.cols):
+            role = grid.role((r, c))
+            if role == CellRole.DATA:
+                row.append("D")
+            elif role == CellRole.PORT:
+                row.append("P")
+            else:
+                row.append(".")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_gantt(
+    schedule: Schedule,
+    num_qubits: int,
+    horizon: Optional[float] = None,
+    columns: int = 72,
+) -> str:
+    """Per-qubit activity strip chart.
+
+    Each row is a program qubit; each column a time bucket.  ``#`` marks a
+    gate, ``m`` a move, ``t`` a magic-state consumption window overlap.
+    """
+    span = horizon or schedule.makespan
+    if span <= 0:
+        return "(empty schedule)"
+    scale = columns / span
+    rows = {q: [" "] * columns for q in range(num_qubits)}
+    for op in schedule.ops:
+        mark = "#"
+        if op.kind in ("move", "evict", "restore"):
+            mark = "m"
+        elif op.name in ("t", "tdg", "rz", "rx") and op.kind == "gate":
+            mark = "t"
+        lo = min(columns - 1, int(op.start * scale))
+        hi = min(columns - 1, int(op.end * scale))
+        for q in op.qubits:
+            if q in rows:
+                for i in range(lo, hi + 1):
+                    rows[q][i] = mark
+    lines = [f"timeline 0 .. {span:.0f}d ({columns} buckets)"]
+    for q in sorted(rows):
+        lines.append(f"q{q:3d} |" + "".join(rows[q]) + "|")
+    return "\n".join(lines)
+
+
+def utilization_histogram(schedule: Schedule, buckets: int = 20) -> str:
+    """Coarse activity histogram over time (ops in flight per bucket)."""
+    span = schedule.makespan
+    if span <= 0:
+        return "(empty schedule)"
+    counts = [0] * buckets
+    for op in schedule.ops:
+        lo = min(buckets - 1, int(op.start / span * buckets))
+        hi = min(buckets - 1, int(op.end / span * buckets))
+        for i in range(lo, hi + 1):
+            counts[i] += 1
+    peak = max(counts) or 1
+    lines = ["activity (ops in flight per time bucket)"]
+    for i, count in enumerate(counts):
+        bar = "#" * round(count / peak * 40)
+        lines.append(f"{i * span / buckets:8.0f}d |{bar} {count}")
+    return "\n".join(lines)

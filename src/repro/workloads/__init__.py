@@ -1,0 +1,36 @@
+"""Benchmark workload generators (paper Table I plus parametric extras)."""
+
+from .arithmetic import cdkm_adder, shift_add_multiplier
+from .fermi_hubbard import fermi_hubbard_2d
+from .ghz import ghz_fanout, ghz_qasmbench
+from .heisenberg import heisenberg_1d, heisenberg_2d
+from .ising import ising_1d, ising_2d
+from .qasmbench import ADDER_N28, MULTIPLIER_N15, adder_n28, multiplier_n15
+from .registry import (
+    CONDENSED_MATTER_SIDES,
+    benchmark_names,
+    condensed_matter_suite,
+    load_benchmark,
+    paper_table1_benchmarks,
+)
+
+__all__ = [
+    "ADDER_N28",
+    "CONDENSED_MATTER_SIDES",
+    "MULTIPLIER_N15",
+    "adder_n28",
+    "benchmark_names",
+    "cdkm_adder",
+    "condensed_matter_suite",
+    "fermi_hubbard_2d",
+    "ghz_fanout",
+    "ghz_qasmbench",
+    "heisenberg_1d",
+    "heisenberg_2d",
+    "ising_1d",
+    "ising_2d",
+    "load_benchmark",
+    "multiplier_n15",
+    "paper_table1_benchmarks",
+    "shift_add_multiplier",
+]

@@ -1,0 +1,52 @@
+"""Quantum Fourier transform and multi-step Trotter workloads.
+
+Extensions beyond the paper's Table I suite: the QFT is the canonical
+rotation-heavy benchmark (every controlled-phase pair is two T-type
+rotations after decomposition), and multi-step Trotter circuits extend the
+single-step condensed-matter workloads the paper evaluates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..ir.circuit import Circuit
+from ..synthesis.decompositions import controlled_phase
+
+
+def qft(num_qubits: int, include_swaps: bool = False) -> Circuit:
+    """Textbook QFT over ``num_qubits`` wires.
+
+    Controlled phases are pre-decomposed into the CX + Rz form the
+    compiler schedules.  ``include_swaps`` appends the final bit-reversal
+    swaps (often elided in practice).
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    qc = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    for i in range(num_qubits):
+        qc.h(i)
+        for j in range(i + 1, num_qubits):
+            qc.extend(controlled_phase(math.pi / 2 ** (j - i), j, i))
+    if include_swaps:
+        for i in range(num_qubits // 2):
+            qc.swap(i, num_qubits - 1 - i)
+    return qc
+
+
+def trotterized(
+    single_step: Callable[[int], Circuit], side: int, steps: int
+) -> Circuit:
+    """Repeat a single-Trotter-step builder ``steps`` times.
+
+    The paper evaluates single steps; real simulations run many, which
+    scales n_T linearly and stresses the factories proportionally.
+    """
+    if steps < 1:
+        raise ValueError("need at least one Trotter step")
+    base = single_step(side)
+    qc = Circuit(base.num_qubits, name=f"{base.name}_x{steps}")
+    for __ in range(steps):
+        qc.extend(base.gates)
+    return qc

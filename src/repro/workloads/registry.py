@@ -1,0 +1,81 @@
+"""Benchmark registry: the paper's 18-program suite by name.
+
+The suite (Sec. VI-A): three condensed-matter models at five sizes each
+(4, 16, 36, 64, 100 qubits — single Trotter steps), plus GHZ-255 and the
+two arithmetic circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..ir.circuit import Circuit
+from .fermi_hubbard import fermi_hubbard_2d
+from .ghz import ghz_qasmbench
+from .heisenberg import heisenberg_2d
+from .ising import ising_2d
+from .qasmbench import adder_n28, multiplier_n15
+
+#: lattice sides for the condensed-matter scaling sweep.
+CONDENSED_MATTER_SIDES = [2, 4, 6, 8, 10]
+
+#: factory functions for every named benchmark.
+_FACTORIES: Dict[str, Callable[[], Circuit]] = {}
+
+
+def _register_suite() -> None:
+    for side in CONDENSED_MATTER_SIDES:
+        _FACTORIES[f"ising_2d_{side}x{side}"] = (
+            lambda s=side: ising_2d(s)
+        )
+        _FACTORIES[f"heisenberg_2d_{side}x{side}"] = (
+            lambda s=side: heisenberg_2d(s)
+        )
+        _FACTORIES[f"fermi_hubbard_2d_{side}x{side}"] = (
+            lambda s=side: fermi_hubbard_2d(s)
+        )
+    _FACTORIES["ghz_n255"] = lambda: ghz_qasmbench(255)
+    _FACTORIES["adder_n28"] = adder_n28
+    _FACTORIES["multiplier_n15"] = multiplier_n15
+
+
+_register_suite()
+
+
+def benchmark_names() -> List[str]:
+    """All 18 benchmark identifiers, deterministic order."""
+    return list(_FACTORIES)
+
+
+def load_benchmark(name: str) -> Circuit:
+    """Instantiate a benchmark circuit by name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(_FACTORIES)}"
+        ) from exc
+
+
+def paper_table1_benchmarks() -> List[Circuit]:
+    """The six rows of Table I (max-size representatives)."""
+    return [
+        load_benchmark("ising_2d_10x10"),
+        load_benchmark("heisenberg_2d_10x10"),
+        load_benchmark("fermi_hubbard_2d_10x10"),
+        load_benchmark("ghz_n255"),
+        load_benchmark("adder_n28"),
+        load_benchmark("multiplier_n15"),
+    ]
+
+
+def condensed_matter_suite(model: str) -> List[Circuit]:
+    """All five sizes of one condensed-matter model."""
+    builders = {
+        "ising": ising_2d,
+        "heisenberg": heisenberg_2d,
+        "fermi_hubbard": fermi_hubbard_2d,
+    }
+    if model not in builders:
+        raise KeyError(f"unknown model {model!r}")
+    return [builders[model](side) for side in CONDENSED_MATTER_SIDES]

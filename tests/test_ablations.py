@@ -1,0 +1,19 @@
+"""Tests for the ablation experiment."""
+
+from repro.experiments import ablations
+
+
+class TestAblations:
+    def test_all_variants_present(self):
+        table = ablations.run(fast=True, models=["ising"])
+        variants = {row["variant"] for row in table.rows}
+        assert variants == {
+            "full", "no-lookahead", "no-move-elimination", "no-factory-buffer",
+        }
+
+    def test_elimination_never_hurts(self):
+        table = ablations.run(fast=True, models=["ising"])
+        rows = {r["variant"]: r for r in table.rows}
+        assert rows["full"]["exec_time_d"] <= (
+            rows["no-move-elimination"]["exec_time_d"] + 1e-6
+        )

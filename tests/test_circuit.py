@@ -1,0 +1,131 @@
+"""Unit tests for repro.ir.circuit."""
+
+import math
+
+import pytest
+
+from repro.ir import gates as g
+from repro.ir.circuit import Circuit, bell_pair, ghz_chain, random_clifford_t
+from repro.ir.gates import GateError
+
+
+class TestBuilder:
+    def test_fluent_chaining(self):
+        qc = Circuit(2).h(0).cx(0, 1).t(1)
+        assert len(qc) == 3
+        assert [gate.name for gate in qc] == ["h", "cx", "t"]
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_out_of_range_qubit_rejected(self):
+        qc = Circuit(2)
+        with pytest.raises(GateError):
+            qc.h(5)
+
+    def test_getitem(self):
+        qc = bell_pair()
+        assert qc[0].name == "h"
+        assert qc[1].name == "cx"
+
+    def test_equality(self):
+        assert bell_pair() == bell_pair()
+        assert bell_pair() != Circuit(2).h(0)
+
+
+class TestCounts:
+    def test_gate_counts(self):
+        qc = Circuit(3).h(0).h(1).cx(0, 1).t(2)
+        assert qc.gate_counts() == {"h": 2, "cx": 1, "t": 1}
+
+    def test_t_count_explicit(self):
+        qc = Circuit(1).t(0).tdg(0)
+        assert qc.t_count() == 2
+
+    def test_t_count_rz(self):
+        qc = Circuit(1).rz(math.pi / 4, 0).rz(math.pi / 2, 0)
+        assert qc.t_count() == 1  # only the non-Clifford rotation counts
+
+    def test_t_count_scaled(self):
+        qc = Circuit(1).rz(0.3, 0)
+        assert qc.t_count(t_per_rotation=30) == 30
+
+    def test_two_qubit_count(self):
+        qc = Circuit(3).cx(0, 1).cx(1, 2).h(0)
+        assert qc.num_two_qubit_gates() == 2
+
+
+class TestDepth:
+    def test_serial_depth(self):
+        qc = Circuit(1).h(0).t(0).h(0)
+        assert qc.depth() == 3
+
+    def test_parallel_depth(self):
+        qc = Circuit(4).h(0).h(1).h(2).h(3)
+        assert qc.depth() == 1
+
+    def test_entangling_depth(self):
+        assert bell_pair().depth() == 2
+
+    def test_empty_depth(self):
+        assert Circuit(2).depth() == 0
+
+
+class TestCompose:
+    def test_compose_offsets(self):
+        left = Circuit(4).h(0)
+        right = Circuit(2).cx(0, 1)
+        left.compose(right, offset=2)
+        assert left[1].qubits == (2, 3)
+
+    def test_compose_rejects_overflow(self):
+        left = Circuit(2)
+        with pytest.raises(GateError):
+            left.compose(bell_pair(), offset=1)
+
+
+class TestInverse:
+    def test_inverse_reverses_and_daggers(self):
+        qc = Circuit(2).h(0).s(0).cx(0, 1)
+        inv = qc.inverse()
+        assert [gate.name for gate in inv] == ["cx", "sdg", "h"]
+
+    def test_inverse_rejects_measure(self):
+        qc = Circuit(1).measure(0)
+        with pytest.raises(GateError):
+            qc.inverse()
+
+
+class TestRemap:
+    def test_remap_relabels(self):
+        qc = bell_pair().remap({0: 1, 1: 0})
+        assert qc[1].qubits == (1, 0)
+
+    def test_remap_can_grow(self):
+        qc = bell_pair().remap({0: 3, 1: 4}, num_qubits=5)
+        assert qc.num_qubits == 5
+
+
+class TestFactories:
+    def test_ghz_chain_structure(self):
+        qc = ghz_chain(5)
+        assert qc.count("h") == 1
+        assert qc.count("cx") == 4
+
+    def test_random_is_deterministic(self):
+        a = random_clifford_t(4, 30, seed=3)
+        b = random_clifford_t(4, 30, seed=3)
+        assert a == b
+
+    def test_random_seed_changes_output(self):
+        a = random_clifford_t(4, 30, seed=3)
+        b = random_clifford_t(4, 30, seed=4)
+        assert a != b
+
+    def test_measure_all(self):
+        qc = Circuit(3).measure_all()
+        assert qc.count("measure") == 3
+
+    def test_summary_mentions_counts(self):
+        assert "cx:1" in bell_pair().summary()

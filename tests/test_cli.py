@@ -1,0 +1,62 @@
+"""CLI tests (invoked in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir import qasm
+from repro.workloads import ising_2d
+
+
+class TestList:
+    def test_lists_benchmarks_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ising_2d_10x10" in out
+        assert "fig9" in out
+
+
+class TestCompile:
+    def test_compile_qasm_file(self, tmp_path, capsys):
+        path = str(tmp_path / "prog.qasm")
+        qasm.dump_file(ising_2d(2), path)
+        assert main(["compile", path, "-r", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+
+    def test_compile_with_optimize(self, tmp_path, capsys):
+        path = str(tmp_path / "prog.qasm")
+        qasm.dump_file(ising_2d(2), path)
+        assert main(["compile", path, "--optimize"]) == 0
+        assert "optimised" in capsys.readouterr().out
+
+
+class TestBenchmark:
+    def test_named_benchmark_sweep(self, capsys):
+        assert main(["benchmark", "ising_2d_2x2", "-r", "3", "-r", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "x_bound" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["benchmark", "nope"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--fast"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestMisc:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

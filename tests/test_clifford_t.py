@@ -1,0 +1,108 @@
+"""Unit tests for repro.synthesis.clifford_t."""
+
+import math
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate, RZ, rz, t
+from repro.synthesis.clifford_t import (
+    SynthesisModel,
+    clifford_rz_replacement,
+    decompose_rotations,
+    rz_to_clifford_t,
+    validate_clifford_t,
+)
+
+
+class TestSynthesisModel:
+    def test_single_t_charges_one(self):
+        model = SynthesisModel.single_t()
+        assert model.t_cost(rz(0.3, 0)) == 1
+
+    def test_explicit_t_always_one(self):
+        model = SynthesisModel.fixed(10)
+        assert model.t_cost(t(0)) == 1
+
+    def test_clifford_rotation_costs_zero(self):
+        model = SynthesisModel.single_t()
+        assert model.t_cost(rz(math.pi / 2, 0)) == 0
+
+    def test_fixed_model(self):
+        model = SynthesisModel.fixed(7)
+        assert model.t_cost(rz(0.3, 0)) == 7
+
+    def test_fixed_rejects_zero(self):
+        with pytest.raises(ValueError):
+            SynthesisModel.fixed(0)
+
+    def test_gridsynth_scaling(self):
+        tight = SynthesisModel.gridsynth(epsilon=1e-10)
+        loose = SynthesisModel.gridsynth(epsilon=1e-2)
+        assert tight.t_cost(rz(0.3, 0)) > loose.t_cost(rz(0.3, 0))
+
+    def test_gridsynth_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisModel.gridsynth(epsilon=2.0)
+
+    def test_circuit_t_count(self):
+        qc = Circuit(2).t(0).rz(0.3, 1).rz(math.pi, 0)
+        assert SynthesisModel.single_t().circuit_t_count(qc) == 2
+
+
+class TestExactExpansion:
+    def test_clifford_replacements(self):
+        assert clifford_rz_replacement(0.0) == []
+        assert clifford_rz_replacement(math.pi / 2) == ["s"]
+        assert clifford_rz_replacement(math.pi) == ["z"]
+        assert clifford_rz_replacement(3 * math.pi / 2) == ["sdg"]
+
+    def test_clifford_replacement_rejects_t_angle(self):
+        with pytest.raises(ValueError):
+            clifford_rz_replacement(math.pi / 4)
+
+    def test_quarter_pi_is_t(self):
+        gates = rz_to_clifford_t(math.pi / 4, 0)
+        assert gates[0].name == "t"
+
+    def test_three_quarter_pi(self):
+        names = [gate.name for gate in rz_to_clifford_t(3 * math.pi / 4, 0)]
+        assert names == ["t", "s"]
+
+    def test_generic_angle_rejected(self):
+        with pytest.raises(ValueError):
+            rz_to_clifford_t(0.3, 0)
+
+
+class TestDecomposeRotations:
+    def test_output_is_clifford_t(self):
+        qc = Circuit(2).rz(0.3, 0).rz(math.pi / 4, 1).rx(math.pi, 0)
+        lowered = decompose_rotations(qc, SynthesisModel.fixed(3))
+        assert validate_clifford_t(lowered)
+
+    def test_t_count_preserved_by_model(self):
+        qc = Circuit(1).rz(0.3, 0)
+        lowered = decompose_rotations(qc, SynthesisModel.fixed(5))
+        assert lowered.count("t") == 5
+
+    def test_rx_gets_hadamard_sandwich(self):
+        qc = Circuit(1).rx(math.pi / 4, 0)
+        lowered = decompose_rotations(qc, SynthesisModel.single_t())
+        assert lowered[0].name == "h"
+        assert lowered[-1].name == "h"
+
+    def test_non_rotation_gates_pass_through(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        lowered = decompose_rotations(qc, SynthesisModel.single_t())
+        assert [gate.name for gate in lowered] == ["h", "cx"]
+
+
+class TestValidate:
+    def test_accepts_clifford_t(self):
+        assert validate_clifford_t(Circuit(2).h(0).t(1).cx(0, 1))
+
+    def test_rejects_generic_rotation(self):
+        assert not validate_clifford_t(Circuit(1).rz(0.3, 0))
+
+    def test_accepts_pi4_rotation(self):
+        assert validate_clifford_t(Circuit(1).rz(math.pi / 4, 0))

@@ -1,0 +1,112 @@
+"""End-to-end compiler tests."""
+
+import pytest
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.pipeline import FaultTolerantCompiler, compile_circuit
+from repro.ir.circuit import Circuit
+from repro.synthesis.clifford_t import SynthesisModel
+from repro.workloads import ising_1d, ising_2d
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = CompilerConfig()
+        assert config.routing_paths == 4
+        assert config.num_factories == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(routing_paths=0)
+        with pytest.raises(ValueError):
+            CompilerConfig(num_factories=0)
+        with pytest.raises(ValueError):
+            CompilerConfig(mapping="magic")
+
+    def test_with_updates(self):
+        config = CompilerConfig().with_(num_factories=3)
+        assert config.num_factories == 3
+        assert config.routing_paths == 4
+
+    def test_factory_config_inherits_distill(self):
+        config = CompilerConfig()
+        assert config.factory_config().distill_time == 11.0
+
+
+class TestCompile:
+    def test_returns_metrics(self):
+        result = compile_circuit(ising_2d(2), routing_paths=4)
+        assert result.execution_time > 0
+        assert result.compute_qubits == 16  # 2x2 data block, r=4 ring
+        assert result.t_states == ising_2d(2).count("rz")
+        assert result.lower_bound == pytest.approx(result.t_states * 11.0)
+
+    def test_unit_cost_time_optional(self):
+        result = compile_circuit(ising_2d(2), routing_paths=4)
+        assert result.unit_cost_time is None
+        result = compile_circuit(
+            ising_2d(2), routing_paths=4, compute_unit_cost_time=True
+        )
+        assert result.unit_cost_time is not None
+        assert result.unit_cost_time <= result.execution_time + 1e-9
+
+    def test_spacetime_accounting(self):
+        result = compile_circuit(ising_2d(2), routing_paths=4, num_factories=2)
+        assert result.total_qubits == result.compute_qubits + 2 * result.factory_area
+        assert result.spacetime_volume(True) > result.spacetime_volume(False)
+
+    def test_cpi_positive(self):
+        result = compile_circuit(ising_2d(2))
+        assert result.cpi > 0
+
+    def test_elimination_report_present(self):
+        result = compile_circuit(ising_2d(2))
+        assert result.elimination is not None
+
+    def test_elimination_can_be_disabled(self):
+        result = compile_circuit(ising_2d(2), eliminate_redundant_moves=False)
+        assert result.elimination is None
+
+    def test_summary_text(self):
+        text = compile_circuit(ising_2d(2)).summary()
+        assert "execution time" in text
+        assert "lower bound" in text.lower() or "bound" in text
+
+    def test_determinism(self):
+        a = compile_circuit(ising_2d(2), routing_paths=4)
+        b = compile_circuit(ising_2d(2), routing_paths=4)
+        assert a.execution_time == b.execution_time
+
+    def test_synthesis_model_scales_t_states(self):
+        config = CompilerConfig(synthesis=SynthesisModel.fixed(3))
+        result = FaultTolerantCompiler(config).compile(ising_2d(2))
+        assert result.t_states == 3 * ising_2d(2).count("rz")
+
+    def test_1d_circuit_compiles(self):
+        result = compile_circuit(ising_1d(6), routing_paths=4)
+        assert result.execution_time >= result.lower_bound
+
+    def test_prebuilt_layout_reused(self):
+        compiler = FaultTolerantCompiler(CompilerConfig(routing_paths=4))
+        circuit = ising_2d(2)
+        layout = compiler.build_layout(circuit)
+        result = compiler.compile(circuit, layout=layout)
+        assert result.layout is layout
+
+
+class TestScaling:
+    def test_more_routing_paths_more_qubits(self):
+        small = compile_circuit(ising_2d(2), routing_paths=3)
+        large = compile_circuit(ising_2d(2), routing_paths=6)
+        assert large.compute_qubits > small.compute_qubits
+
+    def test_lower_bound_scales_inverse_factories(self):
+        one = compile_circuit(ising_2d(2), num_factories=1)
+        two = compile_circuit(ising_2d(2), num_factories=2)
+        assert two.lower_bound == pytest.approx(one.lower_bound / 2)
+
+    def test_clifford_only_circuit_has_zero_bound(self):
+        qc = Circuit(4).h(0).cx(0, 1).s(2)
+        result = compile_circuit(qc, routing_paths=4)
+        assert result.lower_bound == 0.0
+        assert result.time_vs_lower_bound == 1.0

@@ -1,0 +1,113 @@
+"""Unit tests for repro.ir.dag."""
+
+import pytest
+
+from repro.ir.circuit import Circuit, bell_pair
+from repro.ir.dag import DagCircuit, ReadyFrontier
+
+
+def ladder() -> Circuit:
+    return Circuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+
+
+class TestDagStructure:
+    def test_node_count(self):
+        assert len(DagCircuit(ladder())) == 4
+
+    def test_dependencies_follow_wires(self):
+        dag = DagCircuit(ladder())
+        assert dag.node(1).predecessors == {0}
+        assert dag.node(2).predecessors == {1}
+        assert dag.node(3).predecessors == {2}
+
+    def test_independent_gates_are_roots(self):
+        dag = DagCircuit(Circuit(2).h(0).h(1))
+        assert len(dag.roots()) == 2
+
+    def test_layers(self):
+        dag = DagCircuit(ladder())
+        assert [node.layer for node in dag.nodes] == [0, 1, 2, 3]
+
+    def test_depth(self):
+        assert DagCircuit(ladder()).depth() == 4
+        assert DagCircuit(Circuit(4).h(0).h(1)).depth() == 1
+
+    def test_layers_grouping(self):
+        layers = DagCircuit(bell_pair()).layers()
+        assert len(layers) == 2
+        assert layers[0][0].gate.name == "h"
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        dag = DagCircuit(ladder())
+        order = [node.index for node in dag.topological_order()]
+        for node in dag.nodes:
+            for pred in node.predecessors:
+                assert order.index(pred) < order.index(node.index)
+
+    def test_prefers_circuit_order(self):
+        dag = DagCircuit(Circuit(3).h(2).h(0).h(1))
+        assert [n.index for n in dag.topological_order()] == [0, 1, 2]
+
+
+class TestNextGateOnQubit:
+    def test_finds_direct_successor(self):
+        dag = DagCircuit(ladder())
+        nxt = dag.next_gate_on_qubit(1, 1)
+        assert nxt is not None and nxt.index == 2
+
+    def test_none_when_last_use(self):
+        dag = DagCircuit(ladder())
+        assert dag.next_gate_on_qubit(3, 2) is None
+
+    def test_skips_other_wires(self):
+        qc = Circuit(3).cx(0, 1).h(1).cx(0, 2)
+        dag = DagCircuit(qc)
+        nxt = dag.next_gate_on_qubit(0, 0)
+        assert nxt is not None and nxt.index == 2
+
+
+class TestCriticalPath:
+    def test_weighted_depth(self):
+        dag = DagCircuit(ladder())
+        weights = {"h": 3.0, "cx": 2.0, "t": 2.5}
+        assert dag.critical_path_timesteps(weights) == pytest.approx(9.5)
+
+    def test_unknown_gate_costs_one(self):
+        dag = DagCircuit(Circuit(1).h(0))
+        assert dag.critical_path_timesteps({}) == pytest.approx(1.0)
+
+
+class TestReadyFrontier:
+    def test_initial_frontier_is_roots(self):
+        dag = DagCircuit(ladder())
+        frontier = ReadyFrontier(dag)
+        assert [n.index for n in frontier.ready_nodes()] == [0]
+
+    def test_completion_unlocks_successors(self):
+        dag = DagCircuit(ladder())
+        frontier = ReadyFrontier(dag)
+        newly = frontier.complete(0)
+        assert [n.index for n in newly] == [1]
+
+    def test_double_complete_rejected(self):
+        frontier = ReadyFrontier(DagCircuit(ladder()))
+        frontier.complete(0)
+        with pytest.raises(ValueError):
+            frontier.complete(0)
+
+    def test_not_ready_rejected(self):
+        frontier = ReadyFrontier(DagCircuit(ladder()))
+        with pytest.raises(ValueError):
+            frontier.complete(3)
+
+    def test_drains_to_exhaustion(self):
+        dag = DagCircuit(ladder())
+        frontier = ReadyFrontier(dag)
+        seen = []
+        while not frontier.exhausted:
+            node = frontier.ready_nodes()[0]
+            seen.append(node.index)
+            frontier.complete(node.index)
+        assert seen == [0, 1, 2, 3]

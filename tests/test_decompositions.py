@@ -1,0 +1,150 @@
+"""Decompositions verified against explicit numpy unitaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import gates as g
+from repro.ir.circuit import Circuit
+from repro.synthesis.decompositions import (
+    controlled_phase,
+    controlled_rz,
+    expand_swaps,
+    swap_via_cnots,
+    toffoli,
+    xx_rotation,
+    yy_rotation,
+    zz_rotation,
+)
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.diag([1, -1]).astype(complex)
+
+SINGLE = {
+    g.H: (X + Z) / np.sqrt(2),
+    g.S: np.diag([1, 1j]),
+    g.SDG: np.diag([1, -1j]),
+    g.T: np.diag([1, np.exp(1j * np.pi / 4)]),
+    g.TDG: np.diag([1, np.exp(-1j * np.pi / 4)]),
+    g.X: X, g.Y: Y, g.Z: Z,
+    g.SX: 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]),
+}
+
+
+def gate_matrix(gate: g.Gate, n: int) -> np.ndarray:
+    """Dense matrix of one gate on n qubits (qubit 0 = most significant)."""
+    if gate.name in SINGLE or gate.name in (g.RZ, g.RX):
+        if gate.name == g.RZ:
+            mat = np.diag([np.exp(-0.5j * gate.param), np.exp(0.5j * gate.param)])
+        elif gate.name == g.RX:
+            c, s = np.cos(gate.param / 2), -1j * np.sin(gate.param / 2)
+            mat = np.array([[c, s], [s, c]])
+        else:
+            mat = SINGLE[gate.name]
+        ops = [I2] * n
+        ops[gate.qubits[0]] = mat
+        out = np.array([[1]], dtype=complex)
+        for op in ops:
+            out = np.kron(out, op)
+        return out
+    if gate.name in (g.CX, g.CZ, g.SWAP):
+        dim = 2**n
+        out = np.zeros((dim, dim), dtype=complex)
+        a, b = gate.qubits
+        for basis in range(dim):
+            bits = [(basis >> (n - 1 - k)) & 1 for k in range(n)]
+            new_bits = list(bits)
+            amp = 1.0 + 0j
+            if gate.name == g.CX and bits[a]:
+                new_bits[b] ^= 1
+            elif gate.name == g.CZ and bits[a] and bits[b]:
+                amp = -1.0
+            elif gate.name == g.SWAP:
+                new_bits[a], new_bits[b] = new_bits[b], new_bits[a]
+            idx = sum(bit << (n - 1 - k) for k, bit in enumerate(new_bits))
+            out[idx, basis] = amp
+        return out
+    raise ValueError(gate.name)
+
+
+def circuit_matrix(gates, n: int) -> np.ndarray:
+    out = np.eye(2**n, dtype=complex)
+    for gate in gates:
+        out = gate_matrix(gate, n) @ out
+    return out
+
+
+def assert_equal_up_to_phase(a: np.ndarray, b: np.ndarray):
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    phase = a[index] / b[index]
+    assert abs(abs(phase) - 1) < 1e-9
+    np.testing.assert_allclose(a, phase * b, atol=1e-9)
+
+
+class TestToffoli:
+    def test_matches_ccx(self):
+        mat = circuit_matrix(toffoli(0, 1, 2), 3)
+        ccx = np.eye(8, dtype=complex)
+        ccx[[6, 7], [6, 7]] = 0
+        ccx[6, 7] = ccx[7, 6] = 1
+        assert_equal_up_to_phase(mat, ccx)
+
+    def test_seven_t_gates(self):
+        names = [gate.name for gate in toffoli(0, 1, 2)]
+        assert names.count("t") + names.count("tdg") == 7
+
+
+class TestTwoBodyRotations:
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 4, -1.1])
+    def test_zz(self, theta):
+        mat = circuit_matrix(zz_rotation(theta, 0, 1), 2)
+        zz = np.kron(Z, Z)
+        expected = (
+            np.cos(theta / 2) * np.eye(4) - 1j * np.sin(theta / 2) * zz
+        )
+        assert_equal_up_to_phase(mat, expected)
+
+    @pytest.mark.parametrize("theta", [0.3, -0.7])
+    def test_xx(self, theta):
+        mat = circuit_matrix(xx_rotation(theta, 0, 1), 2)
+        xx = np.kron(X, X)
+        expected = np.cos(theta / 2) * np.eye(4) - 1j * np.sin(theta / 2) * xx
+        assert_equal_up_to_phase(mat, expected)
+
+    @pytest.mark.parametrize("theta", [0.3, -0.7])
+    def test_yy(self, theta):
+        mat = circuit_matrix(yy_rotation(theta, 0, 1), 2)
+        yy = np.kron(Y, Y)
+        expected = np.cos(theta / 2) * np.eye(4) - 1j * np.sin(theta / 2) * yy
+        assert_equal_up_to_phase(mat, expected)
+
+
+class TestControlledRotations:
+    @pytest.mark.parametrize("theta", [0.5, math.pi / 2])
+    def test_controlled_phase(self, theta):
+        mat = circuit_matrix(controlled_phase(theta, 0, 1), 2)
+        expected = np.diag([1, 1, 1, np.exp(1j * theta)]).astype(complex)
+        assert_equal_up_to_phase(mat, expected)
+
+    @pytest.mark.parametrize("theta", [0.5, -1.2])
+    def test_controlled_rz(self, theta):
+        mat = circuit_matrix(controlled_rz(theta, 0, 1), 2)
+        expected = np.diag(
+            [1, 1, np.exp(-0.5j * theta), np.exp(0.5j * theta)]
+        ).astype(complex)
+        assert_equal_up_to_phase(mat, expected)
+
+
+class TestSwapExpansion:
+    def test_swap_via_cnots(self):
+        mat = circuit_matrix(swap_via_cnots(0, 1), 2)
+        assert_equal_up_to_phase(mat, gate_matrix(g.swap(0, 1), 2))
+
+    def test_expand_swaps_removes_swaps(self):
+        qc = Circuit(2).swap(0, 1).h(0)
+        out = expand_swaps(qc)
+        assert out.count("swap") == 0
+        assert out.count("cx") == 3

@@ -1,0 +1,139 @@
+"""Unit tests for the weighted Dijkstra router (Eq. 1 cost)."""
+
+import pytest
+
+from repro.arch.grid import CellRole, Grid
+from repro.routing.dijkstra import (
+    NoPathError,
+    RoutingRequest,
+    bus_cells_adjacent_to,
+    find_path,
+    find_path_to_any,
+    reachable_free_cells,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid(5, 5)
+
+
+class TestBasicPaths:
+    def test_trivial_path(self, grid):
+        path = find_path(grid, RoutingRequest((1, 1), (1, 1)))
+        assert path.num_moves == 0
+
+    def test_straight_path_length(self, grid):
+        path = find_path(grid, RoutingRequest((0, 0), (0, 4)))
+        assert path.num_moves == 4
+        assert path.occupied_crossings == 0
+
+    def test_l_path_length(self, grid):
+        path = find_path(grid, RoutingRequest((0, 0), (3, 2)))
+        assert path.num_moves == 5
+
+    def test_out_of_grid_rejected(self, grid):
+        with pytest.raises(NoPathError):
+            find_path(grid, RoutingRequest((0, 0), (9, 9)))
+
+
+class TestPenalty:
+    def test_detour_around_occupied(self, grid):
+        # Wall of data across the middle except one gap at column 4.  With
+        # the default Eq. 1 weights the short crossing wins (cost 8 < 12);
+        # a higher penalty weight makes the router take the free detour.
+        for col in range(4):
+            grid.place(col + 100, (2, col))
+        direct = find_path(grid, RoutingRequest((0, 0), (4, 0)))
+        assert direct.occupied_crossings == 1
+        detour = find_path(
+            grid, RoutingRequest((0, 0), (4, 0), penalty_weight=5)
+        )
+        assert detour.occupied_crossings == 0
+        assert detour.num_moves > 4  # went around the wall
+
+    def test_crossing_when_cheaper(self, grid):
+        # Full wall: crossing is the only option.
+        for col in range(5):
+            grid.place(col + 100, (2, col))
+        path = find_path(grid, RoutingRequest((0, 0), (4, 0)))
+        assert path.occupied_crossings == 1
+
+    def test_forbidden_when_disallowed(self, grid):
+        for col in range(5):
+            grid.place(col + 100, (2, col))
+        with pytest.raises(NoPathError):
+            find_path(
+                grid, RoutingRequest((0, 0), (4, 0), allow_occupied=False)
+            )
+
+    def test_penalty_weight_prefers_longer_detours(self, grid):
+        # Two walls with a long way around: low weight cuts through,
+        # high weight pays more length to cross fewer qubits.
+        for col in range(4):
+            grid.place(col + 100, (1, col))
+        for col in range(1, 5):
+            grid.place(col + 200, (3, col))
+        direct = find_path(
+            grid, RoutingRequest((0, 0), (4, 4), penalty_weight=1)
+        )
+        cautious = find_path(
+            grid, RoutingRequest((0, 0), (4, 4), penalty_weight=50)
+        )
+        assert cautious.occupied_crossings <= direct.occupied_crossings
+
+    def test_avoid_cells(self, grid):
+        request = RoutingRequest((0, 0), (0, 4), avoid=frozenset({(0, 2)}))
+        path = find_path(grid, request)
+        assert (0, 2) not in path.cells
+
+    def test_endpoints_not_penalised(self, grid):
+        grid.place(9, (0, 4))  # destination itself occupied
+        path = find_path(grid, RoutingRequest((0, 0), (0, 4)))
+        assert path.occupied_crossings == 0
+
+
+class TestFactoryRoles:
+    def test_factory_cells_block(self, grid):
+        for row in range(5):
+            grid.set_role((row, 2), CellRole.FACTORY)
+        with pytest.raises(NoPathError):
+            find_path(grid, RoutingRequest((0, 0), (0, 4)))
+
+    def test_port_cells_pass(self, grid):
+        for row in range(5):
+            grid.set_role((row, 2), CellRole.FACTORY)
+        grid.set_role((0, 2), CellRole.PORT)
+        path = find_path(grid, RoutingRequest((0, 0), (0, 4)))
+        assert (0, 2) in path.cells
+
+
+class TestMultiGoal:
+    def test_picks_cheapest_goal(self, grid):
+        path = find_path_to_any(grid, (0, 0), {(4, 4), (0, 2)})
+        assert path.destination == (0, 2)
+
+    def test_empty_goals_rejected(self, grid):
+        with pytest.raises(NoPathError):
+            find_path_to_any(grid, (0, 0), set())
+
+    def test_unreachable_goals(self, grid):
+        for row in range(5):
+            grid.set_role((row, 2), CellRole.FACTORY)
+        with pytest.raises(NoPathError):
+            find_path_to_any(grid, (0, 0), {(0, 4)})
+
+
+class TestReachability:
+    def test_reachable_free_cells_sorted_by_distance(self, grid):
+        grid.place(1, (2, 2))
+        cells = reachable_free_cells(grid, (2, 2), max_distance=2)
+        distances = [d for d, __ in cells]
+        assert distances == sorted(distances)
+        assert all(d <= 2 for d in distances)
+
+    def test_bus_cells_adjacent(self, grid):
+        grid.set_role((1, 1), CellRole.DATA)
+        grid.place(5, (1, 1))
+        adjacent = bus_cells_adjacent_to(grid, (1, 1))
+        assert adjacent == {(0, 1), (2, 1), (1, 0), (1, 2)}

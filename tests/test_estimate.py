@@ -1,0 +1,95 @@
+"""Physical resource estimation tests."""
+
+import pytest
+
+from repro import compile_circuit
+from repro.estimate import (
+    ErrorModel,
+    choose_code_distance,
+    compare_distances,
+    estimate_physical_resources,
+    failure_probability,
+    physical_qubits_per_patch,
+)
+from repro.workloads import ising_2d
+
+
+@pytest.fixture(scope="module")
+def result():
+    return compile_circuit(ising_2d(2), routing_paths=4, num_factories=1)
+
+
+class TestErrorModel:
+    def test_scaling_law_decreases_with_distance(self):
+        model = ErrorModel()
+        assert model.logical_error_rate(11) < model.logical_error_rate(5)
+
+    def test_rejects_even_distance(self):
+        with pytest.raises(ValueError):
+            ErrorModel().logical_error_rate(4)
+
+    def test_rejects_super_threshold_rate(self):
+        with pytest.raises(ValueError):
+            ErrorModel(physical_error_rate=0.5)
+
+    def test_better_hardware_smaller_rates(self):
+        good = ErrorModel(physical_error_rate=1e-4)
+        bad = ErrorModel(physical_error_rate=5e-3)
+        assert good.logical_error_rate(7) < bad.logical_error_rate(7)
+
+
+class TestPatchAccounting:
+    def test_fig1_formula(self):
+        assert physical_qubits_per_patch(5) == 49  # 2*25 - 1
+        assert physical_qubits_per_patch(11) == 241
+
+    def test_rejects_small_distance(self):
+        with pytest.raises(ValueError):
+            physical_qubits_per_patch(1)
+
+
+class TestDistanceSelection:
+    def test_finds_a_distance(self, result):
+        distance = choose_code_distance(result)
+        assert distance % 2 == 1
+        assert failure_probability(result, distance, ErrorModel()) <= 1e-2
+
+    def test_tighter_target_needs_larger_distance(self, result):
+        loose = choose_code_distance(result, target_failure=1e-1)
+        tight = choose_code_distance(result, target_failure=1e-6)
+        assert tight >= loose
+
+    def test_impossible_target_raises(self, result):
+        with pytest.raises(ValueError):
+            choose_code_distance(result, target_failure=1e-30, max_distance=5)
+
+    def test_invalid_target_rejected(self, result):
+        with pytest.raises(ValueError):
+            choose_code_distance(result, target_failure=2.0)
+
+
+class TestFullEstimate:
+    def test_estimate_consistency(self, result):
+        estimate = estimate_physical_resources(result)
+        assert estimate.physical_qubits == (
+            estimate.logical_patch_count
+            * physical_qubits_per_patch(estimate.code_distance)
+        )
+        assert estimate.wall_clock_s == pytest.approx(
+            estimate.code_cycles * 1e-6
+        )
+        assert estimate.total_failure_probability <= 1e-2
+
+    def test_estimate_scales_with_program(self):
+        small = compile_circuit(ising_2d(2), routing_paths=4)
+        large = compile_circuit(ising_2d(4), routing_paths=4)
+        a = estimate_physical_resources(small)
+        b = estimate_physical_resources(large)
+        assert b.physical_qubits > a.physical_qubits
+
+    def test_distance_sweep_monotone(self, result):
+        rows = compare_distances(result)
+        failures = [row[2] for row in rows]
+        assert failures == sorted(failures, reverse=True)
+        qubits = [row[1] for row in rows]
+        assert qubits == sorted(qubits)

@@ -1,0 +1,85 @@
+"""Unit tests for the magic-state factory model."""
+
+import pytest
+
+from repro.arch.factory import Factory, FactoryBank, FactoryConfig
+
+
+class TestFactoryConfig:
+    def test_defaults(self):
+        config = FactoryConfig()
+        assert config.distill_time == 11.0
+        assert config.area == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactoryConfig(distill_time=0)
+        with pytest.raises(ValueError):
+            FactoryConfig(buffer_capacity=0)
+        with pytest.raises(ValueError):
+            FactoryConfig(area=0)
+
+
+class TestSingleFactory:
+    def test_first_state_at_distill_time(self):
+        factory = Factory(0, (0, 0), FactoryConfig())
+        assert factory.collect(0.0) == pytest.approx(11.0)
+
+    def test_pipelined_production(self):
+        factory = Factory(0, (0, 0), FactoryConfig())
+        times = [factory.collect(0.0) for _ in range(5)]
+        assert times == [pytest.approx(11.0 * (i + 1)) for i in range(5)]
+
+    def test_late_consumer_gets_buffered_state(self):
+        factory = Factory(0, (0, 0), FactoryConfig())
+        first = factory.collect(100.0)
+        # State was ready long before; availability is the consumer's time.
+        assert first == pytest.approx(100.0)
+
+    def test_buffer_backfills_to_horizon(self):
+        factory = Factory(0, (0, 0), FactoryConfig(buffer_capacity=2))
+        factory.collect(50.0)
+        # Two more states should be ready (buffered) without extra waiting.
+        assert factory.collect(50.0) == pytest.approx(50.0)
+        assert factory.collect(50.0) == pytest.approx(50.0)
+
+    def test_buffer_capacity_throttles(self):
+        factory = Factory(0, (0, 0), FactoryConfig(buffer_capacity=1))
+        factory.collect(200.0)
+        factory.collect(200.0)  # buffered one
+        third = factory.collect(200.0)
+        assert third == pytest.approx(200.0 + 11.0)
+
+
+class TestFactoryBank:
+    def test_bank_requires_ports(self):
+        with pytest.raises(ValueError):
+            FactoryBank([])
+
+    def test_aggregate_throughput(self):
+        bank = FactoryBank([(0, 0), (0, 5)], FactoryConfig())
+        times = sorted(bank.acquire(0.0)[0] for _ in range(4))
+        assert times == [
+            pytest.approx(11.0), pytest.approx(11.0),
+            pytest.approx(22.0), pytest.approx(22.0),
+        ]
+
+    def test_round_robin_by_availability(self):
+        bank = FactoryBank([(0, 0), (0, 5)], FactoryConfig())
+        __, f1 = bank.acquire(0.0)
+        __, f2 = bank.acquire(0.0)
+        assert {f1.index, f2.index} == {0, 1}
+
+    def test_total_area(self):
+        bank = FactoryBank([(0, 0), (0, 5)], FactoryConfig(area=20))
+        assert bank.total_area == 40
+
+    def test_throughput_bound_is_eq2(self):
+        bank = FactoryBank([(0, 0), (0, 5)], FactoryConfig(distill_time=11))
+        assert bank.throughput_bound(100) == pytest.approx(100 * 11 / 2)
+
+    def test_states_collected_counter(self):
+        bank = FactoryBank([(0, 0)])
+        for _ in range(3):
+            bank.acquire(0.0)
+        assert bank.states_collected == 3

@@ -1,0 +1,98 @@
+"""Failure-injection tests: every error path raises the right exception."""
+
+import pytest
+
+from repro.arch.grid import CellRole, Grid, GridError
+from repro.arch.instruction_set import InstructionSet
+from repro.arch.layout import LayoutError, build_layout
+from repro.compiler.mapping import MappingError, grid_mapping
+from repro.ir.circuit import Circuit
+from repro.routing.dijkstra import NoPathError, RoutingRequest, find_path
+from repro.routing.neighbor_moves import AlignmentError, apply_moves
+from repro.scheduling.scheduler import LatticeSurgeryScheduler, SchedulingError
+
+
+class TestGridFailures:
+    def test_move_unplaced_qubit(self):
+        grid = Grid(2, 2)
+        with pytest.raises(GridError):
+            grid.move(5, (0, 0))
+
+    def test_remove_unplaced_qubit(self):
+        grid = Grid(2, 2)
+        with pytest.raises(GridError):
+            grid.remove(5)
+
+    def test_out_of_bounds_cell(self):
+        grid = Grid(2, 2)
+        with pytest.raises(GridError):
+            grid.cell((5, 5))
+
+
+class TestLayoutFailures:
+    def test_oversized_r(self):
+        with pytest.raises(LayoutError):
+            build_layout(4, 100)
+
+    def test_circuit_too_big_for_layout(self):
+        layout = build_layout(4, 2)
+        with pytest.raises(MappingError):
+            grid_mapping(Circuit(25), layout)
+
+
+class TestRoutingFailures:
+    def test_walled_off_destination(self):
+        grid = Grid(3, 3)
+        for pos in ((0, 1), (1, 1), (2, 1)):
+            grid.set_role(pos, CellRole.FACTORY)
+        with pytest.raises(NoPathError):
+            find_path(grid, RoutingRequest((0, 0), (0, 2)))
+
+    def test_stale_alignment_moves(self):
+        grid = Grid(3, 3)
+        grid.place(0, (0, 0))
+        with pytest.raises(AlignmentError):
+            apply_moves(grid, [(0, (1, 1), (2, 2))])  # origin is wrong
+
+
+class TestSchedulerFailures:
+    def test_placement_collision_detected(self):
+        layout = build_layout(4, 2)
+        scheduler = LatticeSurgeryScheduler(
+            layout.grid, InstructionSet.paper(), layout.port_positions[:1]
+        )
+        placement = {0: layout.data_slots[0], 1: layout.data_slots[0]}
+        with pytest.raises(SchedulingError):
+            scheduler.run(Circuit(2).h(0), placement)
+
+    def test_impossible_layout_for_t_gate(self):
+        """A 1x3 strip with every cell filled cannot host a magic state."""
+        grid = Grid(1, 3)
+        scheduler = LatticeSurgeryScheduler(
+            grid, InstructionSet.paper(), [(0, 0)]
+        )
+        placement = {0: (0, 0), 1: (0, 1), 2: (0, 2)}
+        with pytest.raises(SchedulingError):
+            scheduler.run(Circuit(3).t(1), placement)
+
+
+class TestRecoveryBehaviour:
+    def test_scheduler_survives_dense_r2_with_t_gates(self):
+        """The swap-through fallback keeps extreme layouts compilable."""
+        from repro import compile_circuit
+        from repro.workloads import ising_2d
+
+        result = compile_circuit(ising_2d(4), routing_paths=2, num_factories=1)
+        assert result.execution_time >= result.lower_bound
+
+    def test_scheduler_is_reusable_after_failure(self):
+        layout = build_layout(4, 2)
+        scheduler = LatticeSurgeryScheduler(
+            layout.grid, InstructionSet.paper(), layout.port_positions[:1]
+        )
+        bad = {0: layout.data_slots[0], 1: layout.data_slots[0]}
+        with pytest.raises(SchedulingError):
+            scheduler.run(Circuit(2).h(0), bad)
+        good = {0: layout.data_slots[0], 1: layout.data_slots[1]}
+        schedule = scheduler.run(Circuit(2).h(0).cx(0, 1), good)
+        assert schedule.makespan > 0

@@ -1,0 +1,126 @@
+"""Unit tests for repro.ir.gates."""
+
+import math
+
+import pytest
+
+from repro.ir import gates as g
+from repro.ir.gates import Gate, GateError, is_multiple_of, normalize_angle
+
+
+class TestNormalizeAngle:
+    def test_identity_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_negative_wraps(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(3 * math.pi / 2)
+
+    def test_two_pi_is_zero(self):
+        assert normalize_angle(2 * math.pi) == pytest.approx(0.0)
+
+    def test_large_angle(self):
+        assert normalize_angle(5 * math.pi) == pytest.approx(math.pi)
+
+
+class TestIsMultipleOf:
+    def test_pi_is_multiple_of_half_pi(self):
+        assert is_multiple_of(math.pi, math.pi / 2)
+
+    def test_quarter_pi_not_multiple_of_half_pi(self):
+        assert not is_multiple_of(math.pi / 4, math.pi / 2)
+
+    def test_quarter_pi_is_multiple_of_quarter_pi(self):
+        assert is_multiple_of(math.pi / 4, math.pi / 4)
+
+    def test_noise_tolerated(self):
+        assert is_multiple_of(math.pi / 2 + 1e-12, math.pi / 2)
+
+
+class TestGateConstruction:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GateError):
+            Gate("frobnicate", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(GateError):
+            Gate(g.CX, (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(GateError):
+            Gate(g.CX, (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(GateError):
+            Gate(g.H, (-1,))
+
+    def test_param_required_for_rz(self):
+        with pytest.raises(GateError):
+            Gate(g.RZ, (0,))
+
+    def test_param_forbidden_for_h(self):
+        with pytest.raises(GateError):
+            Gate(g.H, (0,), param=1.0)
+
+    def test_builders(self):
+        assert g.h(3).qubits == (3,)
+        assert g.cx(0, 1).qubits == (0, 1)
+        assert g.rz(0.5, 2).param == 0.5
+
+
+class TestClassification:
+    def test_h_is_clifford(self):
+        assert g.h(0).is_clifford
+        assert not g.h(0).is_t_like
+
+    def test_t_is_t_like(self):
+        assert g.t(0).is_t_like
+        assert not g.t(0).is_clifford
+
+    def test_clifford_rz(self):
+        assert g.rz(math.pi / 2, 0).is_clifford
+        assert g.rz(math.pi, 0).is_clifford
+        assert not g.rz(math.pi / 2, 0).is_t_like
+
+    def test_non_clifford_rz(self):
+        assert g.rz(math.pi / 4, 0).is_t_like
+        assert g.rz(0.3, 0).is_t_like
+
+    def test_pauli_flags(self):
+        assert g.x(0).is_pauli
+        assert g.z(0).is_pauli
+        assert not g.h(0).is_pauli
+
+    def test_two_qubit(self):
+        assert g.cx(0, 1).is_two_qubit
+        assert not g.t(0).is_two_qubit
+
+
+class TestDagger:
+    def test_s_dagger(self):
+        assert g.s(0).dagger().name == g.SDG
+        assert g.sdg(0).dagger().name == g.S
+
+    def test_t_dagger(self):
+        assert g.t(0).dagger().name == g.TDG
+
+    def test_self_inverse(self):
+        for gate in (g.h(0), g.x(0), g.cx(0, 1), g.swap(0, 1)):
+            assert gate.dagger() == gate
+
+    def test_rz_dagger_negates(self):
+        assert g.rz(0.7, 0).dagger().param == pytest.approx(-0.7)
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(GateError):
+            g.measure(0).dagger()
+
+
+class TestRemap:
+    def test_on_moves_qubits(self):
+        gate = g.cx(0, 1).on(4, 7)
+        assert gate.qubits == (4, 7)
+        assert gate.name == g.CX
+
+    def test_str_contains_name(self):
+        assert "cx" in str(g.cx(0, 1))
+        assert "rz" in str(g.rz(0.25, 3))

@@ -1,0 +1,126 @@
+"""Unit tests for the logical grid."""
+
+import pytest
+
+from repro.arch.grid import CellRole, Grid, GridError
+
+
+@pytest.fixture
+def grid():
+    return Grid(4, 5)
+
+
+class TestGeometry:
+    def test_dimensions(self, grid):
+        assert grid.num_cells == 20
+        assert (3, 4) in grid
+        assert (4, 0) not in grid
+
+    def test_neighbors_interior(self, grid):
+        assert set(grid.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_neighbors_corner(self, grid):
+        assert set(grid.neighbors((0, 0))) == {(0, 1), (1, 0)}
+
+    def test_diagonal_neighbors(self, grid):
+        assert set(grid.diagonal_neighbors((1, 1))) == {
+            (0, 0), (0, 2), (2, 0), (2, 2)
+        }
+
+    def test_manhattan(self):
+        assert Grid.manhattan((0, 0), (2, 3)) == 5
+
+    def test_are_diagonal(self):
+        assert Grid.are_diagonal((1, 1), (2, 2))
+        assert not Grid.are_diagonal((1, 1), (1, 2))
+
+    def test_between_diagonal(self):
+        cells = Grid.between_diagonal((1, 1), (2, 2))
+        assert set(cells) == {(1, 2), (2, 1)}
+
+    def test_between_diagonal_rejects_adjacent(self):
+        with pytest.raises(GridError):
+            Grid.between_diagonal((1, 1), (1, 2))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid(0, 3)
+
+
+class TestOccupancy:
+    def test_place_and_lookup(self, grid):
+        grid.place(7, (1, 2))
+        assert grid.occupant((1, 2)) == 7
+        assert grid.position_of(7) == (1, 2)
+
+    def test_double_place_rejected(self, grid):
+        grid.place(7, (1, 2))
+        with pytest.raises(GridError):
+            grid.place(8, (1, 2))
+        with pytest.raises(GridError):
+            grid.place(7, (0, 0))
+
+    def test_move(self, grid):
+        grid.place(7, (1, 2))
+        origin = grid.move(7, (1, 3))
+        assert origin == (1, 2)
+        assert grid.occupant((1, 2)) is None
+        assert grid.position_of(7) == (1, 3)
+
+    def test_move_onto_occupied_rejected(self, grid):
+        grid.place(1, (0, 0))
+        grid.place(2, (0, 1))
+        with pytest.raises(GridError):
+            grid.move(1, (0, 1))
+
+    def test_remove(self, grid):
+        grid.place(7, (1, 2))
+        assert grid.remove(7) == (1, 2)
+        assert not grid.is_occupied((1, 2))
+
+    def test_unknown_qubit_lookup(self, grid):
+        with pytest.raises(GridError):
+            grid.position_of(42)
+
+    def test_free_neighbors_excludes_occupied(self, grid):
+        grid.place(1, (1, 1))
+        grid.place(2, (1, 2))
+        assert (1, 2) not in grid.free_neighbors((1, 1))
+
+    def test_placed_qubits_snapshot(self, grid):
+        grid.place(1, (0, 0))
+        snap = grid.placed_qubits()
+        snap[1] = (9, 9)  # mutating the snapshot must not affect the grid
+        assert grid.position_of(1) == (0, 0)
+
+
+class TestRoles:
+    def test_default_role_is_bus(self, grid):
+        assert grid.role((0, 0)) == CellRole.BUS
+
+    def test_set_role(self, grid):
+        grid.set_role((2, 2), CellRole.DATA)
+        assert grid.cells_with_role(CellRole.DATA) == [(2, 2)]
+
+    def test_routable(self, grid):
+        grid.set_role((0, 0), CellRole.FACTORY)
+        assert not grid.routable((0, 0))
+        assert grid.routable((1, 1))
+
+    def test_parkable_excludes_port(self, grid):
+        grid.set_role((0, 0), CellRole.PORT)
+        assert grid.routable((0, 0))
+        assert not grid.parkable((0, 0))
+
+
+class TestClone:
+    def test_clone_is_independent(self, grid):
+        grid.place(1, (0, 0))
+        dup = grid.clone()
+        dup.move(1, (0, 1))
+        assert grid.position_of(1) == (0, 0)
+        assert dup.position_of(1) == (0, 1)
+
+    def test_clone_copies_roles(self, grid):
+        grid.set_role((2, 2), CellRole.DATA)
+        assert grid.clone().role((2, 2)) == CellRole.DATA

@@ -1,0 +1,82 @@
+"""Instruction-set latency model tests (paper Fig. 7)."""
+
+import math
+
+import pytest
+
+from repro.arch.instruction_set import IN_PLACE, NEEDS_ANCILLA, InstructionSet
+from repro.ir import gates as g
+
+
+class TestPaperLatencies:
+    """The Fig. 7 numbers are load-bearing for every experiment."""
+
+    def test_fig7_values(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.t(0)) == 2.5
+        assert isa.duration(g.cx(0, 1)) == 2.0
+        assert isa.duration(g.h(0)) == 3.0
+        assert isa.duration(g.Gate(g.MOVE, (0,))) == 1.0
+        assert isa.duration(g.s(0)) == 1.5
+        assert isa.distill == 11.0
+
+    def test_paulis_are_free(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.x(0)) == 0.0
+        assert isa.duration(g.z(0)) == 0.0
+
+    def test_clifford_rz_is_s_like(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.rz(math.pi / 2, 0)) == 1.5
+
+    def test_t_like_rz_scales_with_states(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.rz(0.3, 0), t_states=4) == 10.0
+
+    def test_surgery_primitives(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.Gate(g.MZZ, (0, 1))) == 1.0
+        assert isa.duration(g.Gate(g.MXX, (0, 1))) == 1.0
+
+    def test_barrier_costs_nothing(self):
+        isa = InstructionSet.paper()
+        assert isa.duration(g.Gate(g.BARRIER, (0,))) == 0.0
+
+    def test_measure_latency(self):
+        assert InstructionSet.paper().duration(g.measure(0)) == 1.0
+
+
+class TestUnitCost:
+    def test_every_op_costs_one(self):
+        isa = InstructionSet.unit()
+        for gate in (g.h(0), g.cx(0, 1), g.t(0), g.s(0)):
+            assert isa.duration(gate) == 1.0
+
+    def test_distillation_keeps_real_value(self):
+        assert InstructionSet.unit().distill == 11.0
+
+
+class TestVariants:
+    def test_with_distill_time(self):
+        isa = InstructionSet.paper().with_distill_time(5.0)
+        assert isa.distill == 5.0
+        assert isa.cnot == 2.0  # everything else untouched
+
+    def test_with_distill_validation(self):
+        with pytest.raises(ValueError):
+            InstructionSet.paper().with_distill_time(0.0)
+
+    def test_duration_table_covers_core_gates(self):
+        table = InstructionSet.paper().duration_table()
+        for name in (g.H, g.CX, g.T, g.MOVE, g.MEASURE):
+            assert name in table
+
+
+class TestPlacementSets:
+    def test_h_needs_ancilla(self):
+        assert g.H in NEEDS_ANCILLA
+        assert g.SX in NEEDS_ANCILLA
+
+    def test_s_in_place(self):
+        assert g.S in IN_PLACE
+        assert g.MEASURE in IN_PLACE

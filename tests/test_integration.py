@@ -1,0 +1,142 @@
+"""Cross-module integration tests: the full pipeline under many configs."""
+
+import math
+
+import pytest
+
+from repro import CompilerConfig, FaultTolerantCompiler, compile_circuit
+from repro.arch.instruction_set import InstructionSet
+from repro.baselines import circuit_lower_bound, evaluate_all_blocks
+from repro.ir import qasm
+from repro.ir.circuit import Circuit
+from repro.synthesis.clifford_t import SynthesisModel, decompose_rotations
+from repro.synthesis.ppr import transpile_to_ppr
+from repro.workloads import (
+    cdkm_adder,
+    fermi_hubbard_2d,
+    ghz_qasmbench,
+    heisenberg_2d,
+    ising_1d,
+    ising_2d,
+)
+
+
+class TestAllModelsAllLayouts:
+    @pytest.mark.parametrize("builder", [ising_2d, heisenberg_2d, fermi_hubbard_2d])
+    @pytest.mark.parametrize("r", [2, 3, 4, 6, 10])
+    def test_compiles_and_respects_bound(self, builder, r):
+        circuit = builder(4)
+        result = compile_circuit(circuit, routing_paths=r, num_factories=1)
+        assert result.execution_time >= result.lower_bound
+        assert result.time_vs_lower_bound < 3.0
+        result.schedule.validate()
+
+    @pytest.mark.parametrize("factories", [1, 2, 3, 4])
+    def test_factory_scaling(self, factories):
+        result = compile_circuit(
+            ising_2d(4), routing_paths=6, num_factories=factories
+        )
+        assert result.execution_time >= result.lower_bound
+
+
+class TestWorkloadVariety:
+    def test_ghz_chain_compiles_without_t_gates_waiting(self):
+        result = compile_circuit(ghz_qasmbench(16), routing_paths=4)
+        # the GHZ rz(pi/2) gates are Clifford: no magic states at all
+        assert result.t_states == 0
+        assert result.lower_bound == 0.0
+
+    def test_1d_snake_mapping_end_to_end(self):
+        result = compile_circuit(ising_1d(9), routing_paths=4)
+        assert result.execution_time > 0
+
+    def test_real_adder_t_heavy(self):
+        circuit = cdkm_adder(2)
+        result = compile_circuit(circuit, routing_paths=4)
+        assert result.t_states == circuit.t_count()
+        assert result.lower_bound == pytest.approx(result.t_states * 11.0)
+
+    def test_qasm_file_to_compilation(self, tmp_path):
+        path = str(tmp_path / "prog.qasm")
+        qasm.dump_file(ising_2d(2), path)
+        circuit = qasm.load_file(path)
+        result = compile_circuit(circuit, routing_paths=3)
+        assert result.execution_time > 0
+
+
+class TestSynthesisIntegration:
+    def test_decomposed_circuit_compiles_with_same_bound(self):
+        original = Circuit(4).rz(math.pi / 4, 0).rz(math.pi / 4, 1)
+        lowered = decompose_rotations(original, SynthesisModel.single_t())
+        a = compile_circuit(original, routing_paths=4)
+        b = compile_circuit(lowered, routing_paths=4)
+        assert a.lower_bound == b.lower_bound
+
+    def test_ppr_t_count_matches_compiler_t_states(self):
+        circuit = ising_2d(2)
+        program = transpile_to_ppr(circuit)
+        result = compile_circuit(circuit, routing_paths=4)
+        assert program.t_rotation_count == result.t_states
+
+
+class TestBaselineConsistency:
+    def test_every_block_dominates_us_on_time_only(self):
+        """Blocks sit at the bound; we pay a small overhead but fewer qubits."""
+        circuit = ising_2d(4)
+        ours = compile_circuit(circuit, routing_paths=4)
+        for block in evaluate_all_blocks(circuit, num_factories=1):
+            assert ours.compute_qubits < block.compute_qubits
+            assert ours.execution_time >= block.execution_time
+
+    def test_lower_bound_consistent_everywhere(self):
+        circuit = heisenberg_2d(2)
+        ours = compile_circuit(circuit, routing_paths=4)
+        assert ours.lower_bound == pytest.approx(circuit_lower_bound(circuit))
+
+
+class TestDistillationTimeKnob:
+    @pytest.mark.parametrize("distill", [11.0, 5.0, 2.0])
+    def test_shorter_distillation_shortens_t_heavy_circuits(self, distill):
+        config = CompilerConfig(
+            routing_paths=6,
+            instruction_set=InstructionSet.paper().with_distill_time(distill),
+        )
+        result = FaultTolerantCompiler(config).compile(ising_2d(4))
+        assert result.lower_bound == pytest.approx(
+            result.t_states * distill
+        )
+        assert result.execution_time >= result.lower_bound
+
+    def test_monotone_in_distill_time(self):
+        times = []
+        for distill in (11.0, 2.0):
+            config = CompilerConfig(
+                routing_paths=6,
+                instruction_set=InstructionSet.paper().with_distill_time(distill),
+            )
+            times.append(
+                FaultTolerantCompiler(config).compile(ising_2d(4)).execution_time
+            )
+        assert times[1] <= times[0]
+
+
+class TestMoveAccounting:
+    def test_redundant_elimination_never_hurts(self):
+        circuit = ising_2d(4)
+        with_pass = compile_circuit(
+            circuit, routing_paths=4, eliminate_redundant_moves=True
+        )
+        without = compile_circuit(
+            circuit, routing_paths=4, eliminate_redundant_moves=False
+        )
+        assert with_pass.execution_time <= without.execution_time + 1e-6
+
+    def test_lookahead_toggle_runs(self):
+        on = compile_circuit(ising_2d(2), routing_paths=4, lookahead=True)
+        off = compile_circuit(ising_2d(2), routing_paths=4, lookahead=False)
+        assert on.execution_time > 0 and off.execution_time > 0
+
+    def test_more_paths_fewer_moves(self):
+        dense = compile_circuit(ising_2d(4), routing_paths=3)
+        sparse = compile_circuit(ising_2d(4), routing_paths=10)
+        assert sparse.schedule.num_moves < dense.schedule.num_moves

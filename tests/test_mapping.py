@@ -1,0 +1,76 @@
+"""Initial mapping strategy tests."""
+
+import pytest
+
+from repro.arch.grid import Grid
+from repro.arch.layout import build_layout
+from repro.compiler.mapping import (
+    MappingError,
+    choose_mapping,
+    grid_mapping,
+    snake_mapping,
+)
+from repro.ir.circuit import Circuit, ghz_chain
+from repro.workloads import ising_1d, ising_2d
+
+
+class TestGridMapping:
+    def test_identity_row_major(self):
+        layout = build_layout(16, 4)
+        mapping = grid_mapping(ising_2d(4), layout)
+        assert mapping[0] == layout.data_slots[0]
+        assert mapping[15] == layout.data_slots[15]
+
+    def test_too_many_qubits_rejected(self):
+        layout = build_layout(4, 4)
+        with pytest.raises(MappingError):
+            grid_mapping(Circuit(9), layout)
+
+    def test_2d_nn_pairs_grid_adjacent(self):
+        layout = build_layout(16, 4)
+        mapping = grid_mapping(ising_2d(4), layout)
+        # horizontally adjacent program qubits (0,1) are adjacent cells in
+        # the solid r=4 block
+        assert Grid.manhattan(mapping[0], mapping[1]) == 1
+
+
+class TestSnakeMapping:
+    def test_consecutive_qubits_adjacent(self):
+        layout = build_layout(16, 4)
+        mapping = snake_mapping(ghz_chain(16), layout)
+        for q in range(15):
+            assert Grid.manhattan(mapping[q], mapping[q + 1]) == 1
+
+    def test_snake_reverses_alternate_rows(self):
+        layout = build_layout(16, 4)
+        mapping = snake_mapping(ghz_chain(16), layout)
+        # Row 0 ends at the right edge; row 1 starts directly below it.
+        assert mapping[3][1] == mapping[4][1]
+
+
+class TestAutoSelection:
+    def test_chain_gets_snake(self):
+        layout = build_layout(16, 4)
+        auto = choose_mapping(ghz_chain(16), layout, "auto")
+        assert auto == snake_mapping(ghz_chain(16), layout)
+
+    def test_2d_model_gets_grid(self):
+        layout = build_layout(16, 4)
+        auto = choose_mapping(ising_2d(4), layout, "auto")
+        assert auto == grid_mapping(ising_2d(4), layout)
+
+    def test_1d_ising_gets_snake(self):
+        qc = ising_1d(16)
+        layout = build_layout(16, 4)
+        assert choose_mapping(qc, layout, "auto") == snake_mapping(qc, layout)
+
+    def test_explicit_strategies(self):
+        layout = build_layout(16, 4)
+        qc = ising_2d(4)
+        assert choose_mapping(qc, layout, "grid") == grid_mapping(qc, layout)
+        assert choose_mapping(qc, layout, "snake") == snake_mapping(qc, layout)
+
+    def test_unknown_strategy_rejected(self):
+        layout = build_layout(16, 4)
+        with pytest.raises(MappingError):
+            choose_mapping(ising_2d(4), layout, "best")

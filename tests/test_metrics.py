@@ -1,0 +1,95 @@
+"""Metric and report-rendering tests."""
+
+import pytest
+
+from repro.metrics.report import Table, combine
+from repro.metrics.spacetime import (
+    compare,
+    cycles_per_instruction,
+    geometric_mean,
+    overhead_factor,
+    qubit_reduction,
+    spacetime_volume,
+    spacetime_volume_per_op,
+)
+
+
+class TestSpacetime:
+    def test_volume(self):
+        assert spacetime_volume(100, 50.0) == 5000.0
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError):
+            spacetime_volume(-1, 2.0)
+
+    def test_per_op(self):
+        assert spacetime_volume_per_op(100, 50.0, 25) == 200.0
+
+    def test_cpi(self):
+        assert cycles_per_instruction(500.0, 100) == 5.0
+
+    def test_overhead_factor(self):
+        assert overhead_factor(120.0, 100.0) == pytest.approx(1.2)
+        assert overhead_factor(120.0, 0.0) == 1.0
+
+    def test_qubit_reduction(self):
+        assert qubit_reduction(47, 100) == pytest.approx(0.53)
+        with pytest.raises(ValueError):
+            qubit_reduction(10, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) is None
+
+    def test_compare_summary(self):
+        summary = compare(
+            "ising", "compact", our_qubits=150, our_time=120.0,
+            base_qubits=300, base_time=100.0,
+        )
+        assert summary.qubit_reduction == pytest.approx(0.5)
+        assert summary.time_overhead == pytest.approx(1.2)
+        assert summary.spacetime_ratio == pytest.approx(300 * 100 / (150 * 120))
+
+
+class TestTable:
+    def make(self):
+        table = Table(title="demo", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=10, b=None)
+        return table
+
+    def test_add_row_rejects_unknown_columns(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(zz=1)
+
+    def test_column_access(self):
+        assert self.make().column("a") == [1, 10]
+        with pytest.raises(KeyError):
+            self.make().column("zz")
+
+    def test_text_rendering(self):
+        text = self.make().to_text()
+        assert "demo" in text
+        assert "2.5" in text
+        assert "-" in text  # the None cell
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.notes.append("hello shape")
+        assert "note: hello shape" in table.to_text()
+
+    def test_csv_rendering(self):
+        csv_text = self.make().to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "1,2.5" in csv_text
+
+    def test_combine(self):
+        text = combine([self.make(), self.make()], title="all")
+        assert text.startswith("all")
+        assert text.count("demo") == 2
+
+    def test_large_number_formatting(self):
+        table = Table(title="n", columns=["v"])
+        table.add_row(v=1234567.0)
+        assert "1,234,567" in table.to_text()

@@ -1,0 +1,107 @@
+"""Unit tests for gate-dependent CNOT alignment."""
+
+import pytest
+
+from repro.arch.grid import Grid
+from repro.arch.layout import build_layout
+from repro.routing.neighbor_moves import (
+    AlignmentError,
+    apply_moves,
+    cnot_ancilla_cell,
+    is_cnot_ready,
+    plan_cnot_alignment,
+)
+
+
+class TestPlacementPredicate:
+    def test_ancilla_cell_orientation(self):
+        # control (1,1), target (2,2): ancilla shares control's column and
+        # target's row -> (2,1).
+        assert cnot_ancilla_cell((1, 1), (2, 2)) == (2, 1)
+
+    def test_ready_configuration(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (2, 2))
+        assert is_cnot_ready(grid, (1, 1), (2, 2))
+
+    def test_not_ready_when_adjacent(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (1, 2))
+        assert not is_cnot_ready(grid, (1, 1), (1, 2))
+
+    def test_not_ready_when_ancilla_occupied(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (2, 2))
+        grid.place(2, (2, 1))
+        assert not is_cnot_ready(grid, (1, 1), (2, 2))
+
+
+class TestAlignment:
+    def test_already_aligned_needs_no_moves(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (2, 2))
+        plan = plan_cnot_alignment(grid, 0, 1)
+        assert plan.num_moves == 0
+        assert plan.ancilla == (2, 1)
+
+    def test_adjacent_pair_needs_one_move(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (1, 2))
+        plan = plan_cnot_alignment(grid, 0, 1)
+        assert 1 <= plan.num_moves <= 2
+
+    def test_plan_produces_valid_configuration(self):
+        grid = Grid(6, 6)
+        grid.place(0, (1, 1))
+        grid.place(1, (4, 4))
+        plan = plan_cnot_alignment(grid, 0, 1)
+        apply_moves(grid, plan.moves)
+        assert grid.position_of(0) == plan.control_pos
+        assert grid.position_of(1) == plan.target_pos
+        assert is_cnot_ready(grid, plan.control_pos, plan.target_pos)
+        assert plan.ancilla == cnot_ancilla_cell(plan.control_pos, plan.target_pos)
+
+    def test_dense_block_alignment(self):
+        layout = build_layout(16, 4)  # solid 4x4 block, bus ring
+        grid = layout.grid.clone()
+        for q, pos in enumerate(layout.data_slots):
+            grid.place(q, pos)
+        plan = plan_cnot_alignment(grid, 5, 6)  # interior horizontal pair
+        apply_moves(grid, plan.moves)
+        assert is_cnot_ready(grid, plan.control_pos, plan.target_pos)
+
+    def test_all_nn_pairs_alignable_on_r3(self):
+        layout = build_layout(16, 3)
+        for a, b in [(0, 1), (5, 6), (10, 14), (14, 15), (2, 6)]:
+            grid = layout.grid.clone()
+            for q, pos in enumerate(layout.data_slots):
+                grid.place(q, pos)
+            plan = plan_cnot_alignment(grid, a, b)
+            apply_moves(grid, plan.moves)
+            assert is_cnot_ready(grid, plan.control_pos, plan.target_pos), (a, b)
+
+    def test_stale_moves_rejected(self):
+        grid = Grid(4, 4)
+        grid.place(0, (1, 1))
+        grid.place(1, (1, 2))
+        plan = plan_cnot_alignment(grid, 0, 1)
+        if plan.moves:
+            mover = plan.moves[0][0]
+            other = 1 - mover
+            del other
+            grid.move(mover, (3, 3))
+            with pytest.raises(AlignmentError):
+                apply_moves(grid, plan.moves)
+
+    def test_drift_goal_biases_destination(self):
+        grid = Grid(6, 6)
+        grid.place(0, (2, 2))
+        grid.place(1, (2, 3))
+        # Target's next partner sits far below: prefer a low destination.
+        plan = plan_cnot_alignment(grid, 0, 1, drift_goals=(None, (5, 3)))
+        assert plan.target_pos[0] >= 2

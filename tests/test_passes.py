@@ -1,0 +1,114 @@
+"""Tests for the front-end optimisation passes."""
+
+import math
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.passes import (
+    cancel_inverse_pairs,
+    drop_trivial_rotations,
+    fuse_z_rotations,
+    optimize,
+)
+
+
+class TestCancelInversePairs:
+    def test_adjacent_hh_cancels(self):
+        qc = Circuit(1).h(0).h(0)
+        assert len(cancel_inverse_pairs(qc)) == 0
+
+    def test_s_sdg_cancels(self):
+        qc = Circuit(1).s(0).sdg(0)
+        assert len(cancel_inverse_pairs(qc)) == 0
+
+    def test_cx_cx_cancels(self):
+        qc = Circuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_inverse_pairs(qc)) == 0
+
+    def test_reversed_cx_does_not_cancel(self):
+        qc = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_inverse_pairs(qc)) == 2
+
+    def test_intervening_gate_blocks(self):
+        qc = Circuit(1).h(0).t(0).h(0)
+        assert len(cancel_inverse_pairs(qc)) == 3
+
+    def test_intervening_gate_on_one_wire_blocks_cx(self):
+        qc = Circuit(2).cx(0, 1).h(0).cx(0, 1)
+        assert len(cancel_inverse_pairs(qc)) == 3
+
+    def test_unaffected_gates_survive(self):
+        qc = Circuit(2).h(0).h(0).cx(0, 1)
+        out = cancel_inverse_pairs(qc)
+        assert [gate.name for gate in out] == ["cx"]
+
+
+class TestFuseZRotations:
+    def test_t_t_becomes_s(self):
+        qc = Circuit(1).t(0).t(0)
+        out = fuse_z_rotations(qc)
+        assert [gate.name for gate in out] == ["s"]
+
+    def test_s_s_becomes_z(self):
+        qc = Circuit(1).s(0).s(0)
+        out = fuse_z_rotations(qc)
+        assert [gate.name for gate in out] == ["z"]
+
+    def test_t_tdg_vanishes(self):
+        qc = Circuit(1).t(0).tdg(0)
+        assert len(fuse_z_rotations(qc)) == 0
+
+    def test_rz_angles_add(self):
+        qc = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = fuse_z_rotations(qc)
+        assert len(out) == 1
+        assert out[0].param == pytest.approx(0.7)
+
+    def test_fusion_stops_at_entangler(self):
+        qc = Circuit(2).t(0).cx(0, 1).t(0)
+        out = fuse_z_rotations(qc)
+        assert out.count("t") == 2
+
+    def test_h_flushes_pending(self):
+        qc = Circuit(1).t(0).h(0).t(0)
+        out = fuse_z_rotations(qc)
+        assert [gate.name for gate in out] == ["t", "h", "t"]
+
+
+class TestDropTrivial:
+    def test_two_pi_rotation_dropped(self):
+        qc = Circuit(1).rz(2 * math.pi, 0)
+        assert len(drop_trivial_rotations(qc)) == 0
+
+    def test_zero_rotation_dropped(self):
+        qc = Circuit(1).rz(0.0, 0).h(0)
+        assert [gate.name for gate in drop_trivial_rotations(qc)] == ["h"]
+
+
+class TestPipeline:
+    def test_optimize_reduces_redundant_circuit(self):
+        qc = Circuit(2)
+        qc.h(0).h(0)            # cancels
+        qc.t(1).t(1)            # fuses to S
+        qc.rz(0.0, 0)           # trivial
+        qc.cx(0, 1)
+        out = optimize(qc)
+        assert out.count("h") == 0
+        assert out.count("s") == 1
+        assert out.count("cx") == 1
+
+    def test_optimize_preserves_t_count_semantics(self):
+        qc = Circuit(1).t(0).h(0).tdg(0)
+        out = optimize(qc)
+        # nothing fusible across the H
+        assert out.t_count() == 2
+
+    def test_optimized_circuit_still_compiles(self):
+        from repro import compile_circuit
+        from repro.workloads import ising_2d
+
+        original = ising_2d(2)
+        optimized = optimize(original)
+        result = compile_circuit(optimized, routing_paths=4)
+        assert result.execution_time > 0

@@ -1,0 +1,67 @@
+"""Unit tests for the Path data structure."""
+
+import pytest
+
+from repro.arch.grid import Grid
+from repro.routing.path import Path, path_from_cells, straight_line_cells
+
+
+class TestPath:
+    def test_endpoints(self):
+        path = Path(((0, 0), (0, 1), (1, 1)), cost=2.0, occupied_crossings=0)
+        assert path.source == (0, 0)
+        assert path.destination == (1, 1)
+        assert path.num_moves == 2
+        assert len(path) == 3
+
+    def test_interior(self):
+        path = Path(((0, 0), (0, 1), (1, 1)), cost=2.0, occupied_crossings=0)
+        assert path.interior() == ((0, 1),)
+
+    def test_single_cell_path(self):
+        path = Path(((2, 2),), cost=0.0, occupied_crossings=0)
+        assert path.num_moves == 0
+        assert path.interior() == ()
+
+    def test_validate_rejects_disconnected(self):
+        grid = Grid(3, 3)
+        path = Path(((0, 0), (2, 2)), cost=1.0, occupied_crossings=0)
+        with pytest.raises(ValueError):
+            path.validate(grid)
+
+    def test_validate_rejects_out_of_bounds(self):
+        grid = Grid(2, 2)
+        path = Path(((0, 0), (0, 1), (0, 2)), cost=2.0, occupied_crossings=0)
+        with pytest.raises(ValueError):
+            path.validate(grid)
+
+
+class TestPathFromCells:
+    def test_counts_crossings(self):
+        grid = Grid(3, 3)
+        grid.place(9, (0, 1))
+        path = path_from_cells([(0, 0), (0, 1), (0, 2)], grid)
+        assert path.occupied_crossings == 1
+        assert path.cost == 2 * 2  # length 2, penalty factor (1+1)
+
+    def test_endpoints_not_counted(self):
+        grid = Grid(3, 3)
+        grid.place(9, (0, 0))
+        grid.place(8, (0, 2))
+        path = path_from_cells([(0, 0), (0, 1), (0, 2)], grid)
+        assert path.occupied_crossings == 0
+
+
+class TestStraightLine:
+    def test_row_then_column(self):
+        cells = straight_line_cells((0, 0), (2, 2))
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (2, 2)
+        assert len(cells) == 5
+
+    def test_same_cell(self):
+        assert straight_line_cells((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_pure_horizontal(self):
+        cells = straight_line_cells((1, 0), (1, 3))
+        assert cells == [(1, 0), (1, 1), (1, 2), (1, 3)]

@@ -1,0 +1,160 @@
+"""Tests for Pauli algebra — verified against explicit numpy matrices."""
+
+import numpy as np
+import pytest
+
+from repro.ir import gates as g
+from repro.synthesis.pauli import PauliString
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = (X + Z) / np.sqrt(2)
+S = np.diag([1, 1j]).astype(complex)
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+LETTER = {"I": I2, "X": X, "Y": Y, "Z": Z}
+
+
+def to_matrix(p: PauliString) -> np.ndarray:
+    out = np.array([[1]], dtype=complex)
+    for ch in p.label():
+        out = np.kron(out, LETTER[ch])
+    return (1j ** p.phase) * out
+
+
+def embed(mat: np.ndarray, qubits, n: int) -> np.ndarray:
+    """Embed a 1- or 2-qubit unitary into an n-qubit operator."""
+    if len(qubits) == 1:
+        ops = [LETTER["I"]] * n
+        ops[qubits[0]] = mat
+        out = np.array([[1]], dtype=complex)
+        for op in ops:
+            out = np.kron(out, op)
+        return out
+    # Two qubits: permute into adjacent order via explicit basis mapping.
+    dim = 2**n
+    out = np.zeros((dim, dim), dtype=complex)
+    a, b = qubits
+    for basis in range(dim):
+        bits = [(basis >> (n - 1 - k)) & 1 for k in range(n)]
+        sub = 2 * bits[a] + bits[b]
+        for sub_out in range(4):
+            amp = mat[sub_out, sub]
+            if amp == 0:
+                continue
+            new_bits = list(bits)
+            new_bits[a] = sub_out >> 1
+            new_bits[b] = sub_out & 1
+            idx = sum(bit << (n - 1 - k) for k, bit in enumerate(new_bits))
+            out[idx, basis] += amp
+    return out
+
+
+GATE_MATRICES = {
+    g.H: H, g.S: S, g.SDG: S.conj().T, g.X: X, g.Y: Y, g.Z: Z,
+    g.SX: SX, g.SXDG: SX.conj().T,
+    g.CX: CX, g.CZ: CZ, g.SWAP: SWAP,
+}
+
+
+class TestConstruction:
+    def test_from_label_roundtrip(self):
+        p = PauliString.from_label("XIZY")
+        assert p.label() == "XIZY"
+
+    def test_invalid_letter(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    def test_identity(self):
+        p = PauliString.identity(3)
+        assert p.is_identity()
+        assert p.weight() == 0
+
+    def test_single(self):
+        p = PauliString.single(4, 2, "Y")
+        assert p.label() == "IIYI"
+        assert p.support() == (2,)
+
+    def test_mismatched_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString((0, 1), (0,))
+
+
+class TestAlgebraAgainstNumpy:
+    @pytest.mark.parametrize("a", ["XX", "ZI", "YZ", "IY"])
+    @pytest.mark.parametrize("b", ["ZZ", "XY", "IX", "YY"])
+    def test_product_matches_matrices(self, a, b):
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        np.testing.assert_allclose(
+            to_matrix(pa * pb), to_matrix(pa) @ to_matrix(pb), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("a", ["X", "Y", "Z"])
+    @pytest.mark.parametrize("b", ["X", "Y", "Z"])
+    def test_commutation_single_qubit(self, a, b):
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        expected = np.allclose(
+            to_matrix(pa) @ to_matrix(pb), to_matrix(pb) @ to_matrix(pa)
+        )
+        assert pa.commutes_with(pb) == expected
+
+    def test_commutation_multi_qubit(self):
+        xx = PauliString.from_label("XX")
+        zz = PauliString.from_label("ZZ")
+        zi = PauliString.from_label("ZI")
+        assert xx.commutes_with(zz)
+        assert not xx.commutes_with(zi)
+
+
+class TestConjugation:
+    @pytest.mark.parametrize("gate_name", [g.H, g.S, g.SDG, g.X, g.Y, g.Z, g.SX, g.SXDG])
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    def test_single_qubit_conjugation(self, gate_name, label):
+        p = PauliString.from_label(label)
+        gate = g.Gate(gate_name, (0,))
+        result = p.conjugated_by(gate)
+        expected = GATE_MATRICES[gate_name] @ to_matrix(p) @ GATE_MATRICES[gate_name].conj().T
+        np.testing.assert_allclose(to_matrix(result), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("gate_name", [g.CX, g.CZ, g.SWAP])
+    @pytest.mark.parametrize(
+        "label", ["XI", "IX", "ZI", "IZ", "YI", "IY", "XX", "YZ", "ZY", "YY"]
+    )
+    def test_two_qubit_conjugation(self, gate_name, label):
+        p = PauliString.from_label(label)
+        gate = g.Gate(gate_name, (0, 1))
+        result = p.conjugated_by(gate)
+        mat = GATE_MATRICES[gate_name]
+        expected = mat @ to_matrix(p) @ mat.conj().T
+        np.testing.assert_allclose(to_matrix(result), expected, atol=1e-12)
+
+    def test_conjugation_on_embedded_qubits(self):
+        p = PauliString.from_label("IXZ")
+        gate = g.cx(2, 1)
+        result = p.conjugated_by(gate)
+        mat = embed(CX, (2, 1), 3)
+        np.testing.assert_allclose(
+            to_matrix(result), mat @ to_matrix(p) @ mat.conj().T, atol=1e-12
+        )
+
+    def test_sequence_conjugation(self):
+        p = PauliString.from_label("Z")
+        result = p.conjugated_by_all([g.h(0), g.s(0)])
+        mat = S @ H
+        np.testing.assert_allclose(
+            to_matrix(result), mat @ to_matrix(p) @ mat.conj().T, atol=1e-12
+        )
+
+    def test_non_clifford_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("Z").conjugated_by(g.t(0))

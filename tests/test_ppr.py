@@ -1,0 +1,105 @@
+"""Unit tests for the Litinski PPR transpiler."""
+
+import math
+
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.synthesis.ppr import (
+    PauliRotation,
+    rotation_axes_profile,
+    transpile_to_ppr,
+)
+from repro.synthesis.pauli import PauliString
+from repro.workloads import ising_2d
+
+
+class TestBasicTranspilation:
+    def test_pure_t_circuit(self):
+        qc = Circuit(1).t(0)
+        program = transpile_to_ppr(qc)
+        assert program.t_rotation_count == 1
+        assert program.rotations[0].pauli.label() == "Z"
+
+    def test_clifford_only_absorbed(self):
+        qc = Circuit(2).h(0).s(1).cx(0, 1)
+        program = transpile_to_ppr(qc)
+        assert program.rotations == []
+        assert program.absorbed_cliffords == 3
+
+    def test_h_conjugates_t_axis(self):
+        # H then T: pushing T left past H turns its Z axis into X.
+        qc = Circuit(1).h(0).t(0)
+        program = transpile_to_ppr(qc)
+        assert program.rotations[0].pauli.label() == "X"
+
+    def test_cx_spreads_axis(self):
+        # CX(0,1) then T on target 1: Z_1 pulls back to Z_0 Z_1.
+        qc = Circuit(2).cx(0, 1).t(1)
+        program = transpile_to_ppr(qc)
+        assert program.rotations[0].pauli.label() == "ZZ"
+
+    def test_t_before_clifford_keeps_axis(self):
+        qc = Circuit(1).t(0).h(0)
+        program = transpile_to_ppr(qc)
+        assert program.rotations[0].pauli.label() == "Z"
+
+    def test_clifford_rz_absorbed(self):
+        qc = Circuit(1).rz(math.pi / 2, 0).t(0)
+        program = transpile_to_ppr(qc)
+        assert program.t_rotation_count == 1
+
+    def test_generic_rotation_kept(self):
+        qc = Circuit(1).rz(0.3, 0)
+        program = transpile_to_ppr(qc)
+        assert program.t_rotation_count == 1
+        assert program.rotations[0].denominator == 0
+
+    def test_tdg_sign(self):
+        qc = Circuit(1).tdg(0)
+        program = transpile_to_ppr(qc)
+        assert program.rotations[0].theta == pytest.approx(-math.pi / 8)
+
+
+class TestMeasurements:
+    def test_measure_all_default(self):
+        program = transpile_to_ppr(Circuit(2).h(0))
+        assert len(program.measurements) == 2
+        # H flips the Z measurement on qubit 0 into X.
+        assert program.measurements[0].pauli.label() == "XI"
+
+    def test_no_measurements_option(self):
+        program = transpile_to_ppr(Circuit(2).h(0), measure_all=False)
+        assert program.measurements == []
+
+
+class TestBenchmarks:
+    def test_ising_t_count_matches_rz_count(self):
+        qc = ising_2d(4)
+        program = transpile_to_ppr(qc)
+        assert program.t_rotation_count == qc.count("rz")
+
+    def test_axes_have_no_imaginary_phase(self):
+        program = transpile_to_ppr(ising_2d(2))
+        for rotation in program.rotations:
+            assert rotation.pauli.phase == 0
+
+    def test_max_weight_bounded_by_qubits(self):
+        qc = ising_2d(2)
+        program = transpile_to_ppr(qc)
+        assert 1 <= program.max_weight() <= qc.num_qubits
+
+    def test_summary_text(self):
+        text = transpile_to_ppr(ising_2d(2)).summary()
+        assert "rotations" in text
+
+
+class TestRotationProfile:
+    def test_profile_counts(self):
+        program = transpile_to_ppr(Circuit(2).t(0).cx(0, 1).t(1))
+        pure_z, gaps, other = rotation_axes_profile(program)
+        assert pure_z + gaps + other == program.t_rotation_count
+
+    def test_trivial_rotation_detection(self):
+        rotation = PauliRotation(PauliString.from_label("Z"), 0.0, 0)
+        assert rotation.is_trivial

@@ -1,0 +1,70 @@
+"""Tests for static circuit analyses."""
+
+import pytest
+
+from repro.ir.circuit import Circuit, bell_pair, ghz_chain
+from repro.ir.properties import (
+    gate_layers_histogram,
+    instruction_mix,
+    interaction_graph,
+    interaction_locality,
+    profile,
+)
+from repro.workloads import ising_2d
+
+
+class TestProfile:
+    def test_basic_fields(self):
+        p = profile(ising_2d(2))
+        assert p.num_qubits == 4
+        assert p.num_gates == len(ising_2d(2))
+        assert p.t_count == ising_2d(2).count("rz")
+        assert p.depth > 0
+        assert p.parallelism == pytest.approx(p.num_gates / p.depth)
+
+    def test_t_per_rotation_scaling(self):
+        base = profile(ising_2d(2))
+        scaled = profile(ising_2d(2), t_per_rotation=4)
+        assert scaled.t_count == 4 * base.t_count
+
+
+class TestInteractionGraph:
+    def test_bell(self):
+        assert interaction_graph(bell_pair()) == {(0, 1): 1}
+
+    def test_weights_accumulate(self):
+        qc = Circuit(2).cx(0, 1).cx(1, 0)
+        assert interaction_graph(qc) == {(0, 1): 2}
+
+    def test_chain_locality(self):
+        # ghz chain couples consecutive qubits only -> fully 1D
+        graph = interaction_graph(ghz_chain(8))
+        assert all(b - a == 1 for (a, b) in graph)
+
+    def test_2d_locality_metric(self):
+        assert interaction_locality(ising_2d(4), 4) == 1.0
+        # a chain on a 4-wide grid labelling has non-local row wraps
+        assert interaction_locality(ghz_chain(16), 4) < 1.0
+
+
+class TestInstructionMix:
+    def test_fractions_sum_sensibly(self):
+        mix = instruction_mix(ising_2d(2))
+        assert 0 < mix["t_fraction"] < 1
+        assert 0 < mix["two_qubit_fraction"] < 1
+        assert mix["clifford_fraction"] >= 0
+
+    def test_clifford_only(self):
+        mix = instruction_mix(Circuit(2).h(0).cx(0, 1))
+        assert mix["t_fraction"] == 0.0
+
+
+class TestLayersHistogram:
+    def test_total_matches_gate_count(self):
+        qc = ising_2d(2)
+        histogram = gate_layers_histogram(qc)
+        assert sum(histogram) == len(qc)
+
+    def test_parallel_first_layer(self):
+        qc = Circuit(4).h(0).h(1).h(2).cx(0, 1)
+        assert gate_layers_histogram(qc)[0] == 3

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.grid import Grid
+from repro.arch.layout import build_layout, max_routing_paths
+from repro.ir import gates as g
+from repro.ir import qasm
+from repro.ir.circuit import Circuit, random_clifford_t
+from repro.ir.dag import DagCircuit, ReadyFrontier
+from repro.routing.dijkstra import NoPathError, RoutingRequest, find_path
+from repro.scheduling.events import Schedule, ScheduledOp
+from repro.scheduling.resim import resimulate
+from repro.synthesis.pauli import PauliString
+
+# -- strategies -------------------------------------------------------------
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=6)
+phases = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def pauli_strings(draw, num_qubits=None):
+    if num_qubits is None:
+        label = draw(pauli_labels)
+    else:
+        label = draw(
+            st.text(alphabet="IXYZ", min_size=num_qubits, max_size=num_qubits)
+        )
+    return PauliString.from_label(label, phase=draw(phases))
+
+
+@st.composite
+def small_circuits(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=6))
+    num_gates = draw(st.integers(min_value=0, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_clifford_t(num_qubits, num_gates, seed=seed)
+
+
+# -- Pauli algebra ----------------------------------------------------------
+
+
+class TestPauliProperties:
+    @given(pauli_strings())
+    def test_label_round_trip(self, p):
+        assert PauliString.from_label(p.label(), p.phase) == p
+
+    @given(st.data())
+    def test_product_associative(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=4))
+        a = data.draw(pauli_strings(num_qubits=n))
+        b = data.draw(pauli_strings(num_qubits=n))
+        c = data.draw(pauli_strings(num_qubits=n))
+        assert (a * b) * c == a * (b * c)
+
+    @given(st.data())
+    def test_self_product_is_identity_shaped(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        a = data.draw(pauli_strings(num_qubits=n))
+        square = a * a
+        assert square.weight() == 0  # P^2 proportional to I
+
+    @given(st.data())
+    def test_commutation_is_symmetric(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        a = data.draw(pauli_strings(num_qubits=n))
+        b = data.draw(pauli_strings(num_qubits=n))
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(st.data())
+    def test_conjugation_preserves_weight_support_size_under_h(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        a = data.draw(pauli_strings(num_qubits=n))
+        q = data.draw(st.integers(min_value=0, max_value=n - 1))
+        conj = a.conjugated_by(g.h(q))
+        assert conj.weight() == a.weight()
+
+    @given(st.data())
+    def test_conjugation_involution_for_self_inverse(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        a = data.draw(pauli_strings(num_qubits=n))
+        gate = data.draw(
+            st.sampled_from([g.h(0), g.x(1), g.cx(0, 1), g.swap(0, 1)])
+        )
+        assert a.conjugated_by(gate).conjugated_by(gate) == a
+
+
+# -- circuits and DAGs --------------------------------------------------------
+
+
+class TestCircuitProperties:
+    @given(small_circuits())
+    def test_depth_at_most_gates(self, qc):
+        assert qc.depth() <= len(qc)
+
+    @given(small_circuits())
+    def test_dag_topological_order_complete(self, qc):
+        dag = DagCircuit(qc)
+        order = dag.topological_order()
+        assert len(order) == len(dag)
+
+    @given(small_circuits())
+    def test_frontier_drains_completely(self, qc):
+        dag = DagCircuit(qc)
+        frontier = ReadyFrontier(dag)
+        drained = 0
+        while not frontier.exhausted:
+            node = frontier.ready_nodes()[0]
+            frontier.complete(node.index)
+            drained += 1
+        assert drained == len(dag)
+
+    @given(small_circuits())
+    def test_dag_depth_matches_circuit_depth(self, qc):
+        assert DagCircuit(qc).depth() == qc.depth()
+
+    @given(small_circuits())
+    def test_qasm_round_trip(self, qc):
+        recovered = qasm.loads(qasm.dumps(qc))
+        assert recovered.gate_counts() == qc.gate_counts()
+
+    @given(small_circuits())
+    def test_inverse_depth_equal(self, qc):
+        assert qc.inverse().depth() == qc.depth()
+
+
+# -- layouts ------------------------------------------------------------------
+
+
+class TestLayoutProperties:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=18),
+    )
+    def test_layout_consistency(self, side, r):
+        if r > max_routing_paths(side):
+            return
+        layout = build_layout(side * side, r)
+        assert len(layout.data_slots) == side * side
+        assert len(set(layout.data_slots)) == side * side
+        assert layout.total_qubits == layout.grid.rows * layout.grid.cols
+        assert layout.num_bus == layout.total_qubits - side * side
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_qubits_monotone_in_r(self, side):
+        totals = [
+            build_layout(side * side, r).total_qubits
+            for r in range(1, max_routing_paths(side) + 1)
+        ]
+        assert totals == sorted(totals)
+
+
+# -- routing ------------------------------------------------------------------
+
+
+class TestRoutingProperties:
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_path_endpoints_and_connectivity(self, data):
+        rows = data.draw(st.integers(min_value=2, max_value=7))
+        cols = data.draw(st.integers(min_value=2, max_value=7))
+        grid = Grid(rows, cols)
+        src = (
+            data.draw(st.integers(0, rows - 1)),
+            data.draw(st.integers(0, cols - 1)),
+        )
+        dst = (
+            data.draw(st.integers(0, rows - 1)),
+            data.draw(st.integers(0, cols - 1)),
+        )
+        path = find_path(grid, RoutingRequest(src, dst))
+        assert path.source == src
+        assert path.destination == dst
+        path.validate(grid)
+        assert path.num_moves >= Grid.manhattan(src, dst)
+
+    @given(st.data())
+    @settings(max_examples=30)
+    def test_path_cost_lower_bounded_by_distance(self, data):
+        grid = Grid(6, 6)
+        occupied = data.draw(
+            st.lists(
+                st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                max_size=8, unique=True,
+            )
+        )
+        for i, pos in enumerate(occupied):
+            grid.place(i, pos)
+        try:
+            path = find_path(grid, RoutingRequest((0, 0), (5, 5)))
+        except NoPathError:
+            return
+        assert path.cost >= Grid.manhattan((0, 0), (5, 5))
+
+
+# -- schedule resimulation ------------------------------------------------------
+
+
+class TestResimProperties:
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_resim_preserves_resource_exclusivity(self, data):
+        num_ops = data.draw(st.integers(min_value=1, max_value=15))
+        ops = []
+        for uid in range(num_ops):
+            qubits = tuple(
+                data.draw(st.sets(st.integers(0, 3), min_size=1, max_size=2))
+            )
+            ops.append(
+                ScheduledOp(
+                    uid=uid, kind="gate", name="h", qubits=qubits, cells=(),
+                    start=float(data.draw(st.integers(0, 50))),
+                    duration=float(data.draw(st.integers(1, 4))),
+                    min_start=float(data.draw(st.integers(0, 10))),
+                )
+            )
+        retimed = resimulate(Schedule(ops))
+        retimed.validate()
+        for op in retimed.ops:
+            assert op.start >= op.min_start
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_resim_idempotent(self, data):
+        num_ops = data.draw(st.integers(min_value=1, max_value=10))
+        ops = [
+            ScheduledOp(
+                uid=i, kind="gate", name="h",
+                qubits=(data.draw(st.integers(0, 2)),), cells=(),
+                start=0.0, duration=2.0,
+            )
+            for i in range(num_ops)
+        ]
+        once = resimulate(Schedule(ops))
+        twice = resimulate(once)
+        assert [op.start for op in once.ops] == [op.start for op in twice.ops]

@@ -1,0 +1,83 @@
+"""OpenQASM 2 round-trip tests."""
+
+import math
+
+import pytest
+
+from repro.ir import qasm
+from repro.ir.circuit import Circuit, bell_pair
+from repro.ir.qasm import QasmError
+from repro.workloads import ising_2d
+
+
+class TestDumps:
+    def test_header_and_register(self):
+        text = qasm.dumps(bell_pair())
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[2];" in text
+
+    def test_gate_lines(self):
+        text = qasm.dumps(bell_pair())
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+
+    def test_angle_formatting(self):
+        text = qasm.dumps(Circuit(1).rz(math.pi / 4, 0))
+        assert "rz(pi/4) q[0];" in text
+
+    def test_negative_angle(self):
+        text = qasm.dumps(Circuit(1).rz(-math.pi / 2, 0))
+        assert "rz(-pi/2)" in text or "rz(3*pi/2)" in text
+
+    def test_measure_lines(self):
+        text = qasm.dumps(Circuit(1).measure(0))
+        assert "measure q[0] -> c[0];" in text
+
+
+class TestLoads:
+    def test_parse_simple(self):
+        circuit = qasm.loads(qasm.dumps(bell_pair()))
+        assert circuit.gate_counts() == {"h": 1, "cx": 1}
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.loads("qreg q[2]; h q[0];")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.loads("OPENQASM 2.0; h q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[1]; frob q[0];")
+
+    def test_angle_expressions(self):
+        circuit = qasm.loads("OPENQASM 2.0; qreg q[1]; rz(3*pi/4) q[0];")
+        assert circuit[0].param == pytest.approx(3 * math.pi / 4)
+
+    def test_evil_angle_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[1]; rz(__import__) q[0];")
+
+    def test_comments_stripped(self):
+        text = "OPENQASM 2.0; // header\nqreg q[1];\nh q[0]; // gate\n"
+        assert qasm.loads(text).count("h") == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [bell_pair, lambda: ising_2d(2)])
+    def test_full_round_trip(self, builder):
+        original = builder()
+        recovered = qasm.loads(qasm.dumps(original))
+        assert recovered.num_qubits == original.num_qubits
+        assert recovered.gate_counts() == original.gate_counts()
+        for a, b in zip(original, recovered):
+            assert a.name == b.name
+            assert a.qubits == b.qubits
+            if a.param is not None:
+                assert b.param == pytest.approx(a.param)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "bell.qasm")
+        qasm.dump_file(bell_pair(), path)
+        assert qasm.load_file(path).gate_counts() == {"h": 1, "cx": 1}

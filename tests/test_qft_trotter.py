@@ -1,0 +1,52 @@
+"""Tests for the QFT and multi-step Trotter workload extensions."""
+
+import pytest
+
+from repro import compile_circuit
+from repro.workloads.ising import ising_2d
+from repro.workloads.qft import qft, trotterized
+
+
+class TestQft:
+    def test_gate_structure(self):
+        qc = qft(4)
+        assert qc.count("h") == 4
+        # C(4,2)=6 controlled phases, each 2 CX + 3 Rz
+        assert qc.count("cx") == 12
+        assert qc.count("rz") == 18
+
+    def test_swaps_optional(self):
+        assert qft(4, include_swaps=True).count("swap") == 2
+        assert qft(4).count("swap") == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            qft(0)
+
+    def test_t_heavy(self):
+        qc = qft(4)
+        assert qc.t_count() > 0
+
+    def test_compiles(self):
+        result = compile_circuit(qft(4), routing_paths=4)
+        assert result.execution_time >= result.lower_bound
+
+
+class TestTrotterized:
+    def test_counts_scale_linearly(self):
+        one = trotterized(ising_2d, 2, 1)
+        three = trotterized(ising_2d, 2, 3)
+        assert len(three) == 3 * len(one)
+        assert three.t_count() == 3 * one.t_count()
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            trotterized(ising_2d, 2, 0)
+
+    def test_name_records_steps(self):
+        assert trotterized(ising_2d, 2, 2).name.endswith("_x2")
+
+    def test_multi_step_bound_scales(self):
+        one = compile_circuit(trotterized(ising_2d, 2, 1), routing_paths=4)
+        two = compile_circuit(trotterized(ising_2d, 2, 2), routing_paths=4)
+        assert two.lower_bound == pytest.approx(2 * one.lower_bound)

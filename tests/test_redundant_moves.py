@@ -1,0 +1,134 @@
+"""Tests for redundant-move elimination and schedule resimulation."""
+
+import pytest
+
+from repro.scheduling.events import Schedule, ScheduledOp
+from repro.scheduling.redundant_moves import (
+    eliminate_redundant_moves,
+    find_redundant_pairs,
+)
+from repro.scheduling.resim import optimize_schedule, resimulate
+
+
+def move(uid, qubit, a, b, kind="move", start=0.0):
+    return ScheduledOp(
+        uid=uid, kind=kind, name="move", qubits=(qubit,), cells=(a, b),
+        start=start, duration=1.0,
+    )
+
+
+def gate(uid, qubits, cells=(), start=0.0, duration=2.0, min_start=0.0):
+    return ScheduledOp(
+        uid=uid, kind="gate", name="cx", qubits=qubits, cells=cells,
+        start=start, duration=duration, min_start=min_start,
+    )
+
+
+class TestPairDetection:
+    def test_simple_inverse_pair(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            move(1, 5, (1, 2), (1, 1), kind="restore"),
+        ])
+        assert find_redundant_pairs(schedule) == [(0, 1)]
+
+    def test_intervening_gate_on_qubit_blocks(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            gate(1, (5,)),
+            move(2, 5, (1, 2), (1, 1)),
+        ])
+        assert find_redundant_pairs(schedule) == []
+
+    def test_intervening_cell_use_blocks(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            gate(1, (9,), cells=((1, 1),)),  # someone used the origin
+            move(2, 5, (1, 2), (1, 1)),
+        ])
+        assert find_redundant_pairs(schedule) == []
+
+    def test_non_inverse_moves_not_paired(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            move(1, 5, (1, 2), (1, 3)),
+        ])
+        assert find_redundant_pairs(schedule) == []
+
+    def test_multiple_pairs(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            move(1, 5, (1, 2), (1, 1)),
+            move(2, 7, (3, 3), (3, 4)),
+            move(3, 7, (3, 4), (3, 3)),
+        ])
+        assert len(find_redundant_pairs(schedule)) == 2
+
+    def test_unrelated_qubit_ops_do_not_block(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            gate(1, (9,), cells=((7, 7),)),
+            move(2, 5, (1, 2), (1, 1)),
+        ])
+        assert find_redundant_pairs(schedule) == [(0, 2)]
+
+
+class TestElimination:
+    def test_removes_pairs(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2)),
+            move(1, 5, (1, 2), (1, 1)),
+            gate(2, (5,)),
+        ])
+        pruned, report = eliminate_redundant_moves(schedule)
+        assert report.removed_pairs == 1
+        assert report.moves_removed == 2
+        assert len(pruned.ops) == 1
+
+    def test_noop_without_pairs(self):
+        schedule = Schedule([gate(0, (1,))])
+        pruned, report = eliminate_redundant_moves(schedule)
+        assert report.removed_pairs == 0
+        assert len(pruned.ops) == 1
+
+
+class TestResimulation:
+    def test_pulls_ops_earlier(self):
+        schedule = Schedule([
+            gate(0, (1,), start=10.0),
+            gate(1, (2,), start=20.0),
+        ])
+        retimed = resimulate(schedule)
+        assert retimed.ops[0].start == 0.0
+        assert retimed.ops[1].start == 0.0
+
+    def test_respects_qubit_dependencies(self):
+        schedule = Schedule([
+            gate(0, (1,), start=0.0),
+            gate(1, (1,), start=50.0),
+        ])
+        retimed = resimulate(schedule)
+        assert retimed.ops[1].start == pytest.approx(2.0)
+
+    def test_respects_min_start(self):
+        schedule = Schedule([gate(0, (1,), start=0.0, min_start=33.0)])
+        retimed = resimulate(schedule)
+        assert retimed.ops[0].start == pytest.approx(33.0)
+
+    def test_respects_cell_locks(self):
+        schedule = Schedule([
+            gate(0, (1,), cells=((0, 0),)),
+            gate(1, (2,), cells=((0, 0),)),
+        ])
+        retimed = resimulate(schedule)
+        assert retimed.ops[1].start == pytest.approx(2.0)
+
+    def test_optimize_never_increases_makespan(self):
+        schedule = Schedule([
+            move(0, 5, (1, 1), (1, 2), start=0.0),
+            move(1, 5, (1, 2), (1, 1), kind="restore", start=1.0),
+            gate(2, (5,), start=2.0),
+        ])
+        optimized, report = optimize_schedule(schedule)
+        assert report.removed_pairs == 1
+        assert optimized.makespan <= schedule.makespan

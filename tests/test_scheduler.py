@@ -1,0 +1,143 @@
+"""Scheduler behaviour tests on small, hand-checkable circuits."""
+
+import pytest
+
+from repro.arch.instruction_set import InstructionSet
+from repro.arch.layout import assign_factory_ports, build_layout
+from repro.compiler.mapping import grid_mapping
+from repro.ir.circuit import Circuit
+from repro.scheduling.scheduler import LatticeSurgeryScheduler
+from repro.workloads import ising_2d
+
+
+def schedule_circuit(circuit, r=4, factories=1, isa=None):
+    layout = build_layout(circuit.num_qubits, r)
+    placement = grid_mapping(circuit, layout)
+    ports = assign_factory_ports(layout, factories)
+    scheduler = LatticeSurgeryScheduler(
+        layout.grid, isa or InstructionSet.paper(), ports
+    )
+    return scheduler.run(circuit, placement), scheduler
+
+
+class TestSingleGates:
+    def test_pauli_costs_nothing(self):
+        schedule, __ = schedule_circuit(Circuit(4).x(0).z(1))
+        assert schedule.makespan == 0.0
+
+    def test_hadamard_duration(self):
+        schedule, __ = schedule_circuit(Circuit(4).h(0))
+        assert schedule.makespan == pytest.approx(3.0)
+
+    def test_s_gate_duration(self):
+        schedule, __ = schedule_circuit(Circuit(4).s(0))
+        assert schedule.makespan == pytest.approx(1.5)
+
+    def test_serial_chain_adds_up(self):
+        schedule, __ = schedule_circuit(Circuit(4).h(0).s(0))
+        assert schedule.makespan == pytest.approx(4.5)
+
+    def test_parallel_hadamards_overlap(self):
+        schedule, __ = schedule_circuit(Circuit(4).h(0).h(3))
+        assert schedule.makespan == pytest.approx(3.0)
+
+
+class TestCnot:
+    def test_cnot_includes_alignment_moves(self):
+        schedule, __ = schedule_circuit(Circuit(4).cx(0, 1))
+        gates = [op for op in schedule.ops if op.kind == "gate"]
+        assert gates[-1].duration == pytest.approx(2.0)
+        # operands start adjacent -> at least one move to reach diagonal
+        assert schedule.num_moves >= 1
+
+    def test_diagonal_operands_no_moves(self):
+        # On r=22-style fully separated layouts, qubits 0 and 1 of a 2x2
+        # block sit with a bus cell between them.
+        qc = Circuit(4).cx(0, 3)  # diagonal corners of the 2x2 block
+        layout = build_layout(4, 6)
+        placement = grid_mapping(qc, layout)
+        ports = assign_factory_ports(layout, 1)
+        scheduler = LatticeSurgeryScheduler(
+            layout.grid, InstructionSet.paper(), ports
+        )
+        schedule = scheduler.run(qc, placement)
+        assert schedule.makespan >= 2.0
+
+
+class TestMagicStates:
+    def test_t_gate_waits_for_distillation(self):
+        schedule, scheduler = schedule_circuit(Circuit(4).t(0))
+        # 11d distillation + route + 2.5d consumption
+        assert schedule.makespan >= 13.5
+        assert scheduler.stats.magic_states == 1
+
+    def test_t_gates_pipeline(self):
+        qc = Circuit(4)
+        for q in range(4):
+            qc.t(q)
+        schedule, scheduler = schedule_circuit(qc)
+        assert scheduler.stats.magic_states == 4
+        # Pipelined: far less than 4 x (11 + route + 2.5) serial latency.
+        assert schedule.makespan < 4 * 20
+
+    def test_rz_consumes_one_state_by_default(self):
+        schedule, scheduler = schedule_circuit(Circuit(4).rz(0.3, 0))
+        assert scheduler.stats.magic_states == 1
+
+    def test_clifford_rz_consumes_none(self):
+        import math
+
+        schedule, scheduler = schedule_circuit(Circuit(4).rz(math.pi / 2, 0))
+        assert scheduler.stats.magic_states == 0
+
+    def test_more_factories_reduce_t_heavy_makespan(self):
+        qc = Circuit(16)
+        for q in range(16):
+            qc.t(q)
+        one, __ = schedule_circuit(qc, r=6, factories=1)
+        four, __ = schedule_circuit(qc, r=6, factories=4)
+        assert four.makespan < one.makespan
+
+
+class TestInvariants:
+    def test_all_gates_scheduled(self):
+        qc = ising_2d(2)
+        schedule, __ = schedule_circuit(qc, r=4)
+        scheduled = {op.gate_index for op in schedule.ops if op.kind == "gate"}
+        assert len(scheduled) == len(qc)
+
+    def test_makespan_at_least_lower_bound(self):
+        qc = ising_2d(2)
+        schedule, __ = schedule_circuit(qc, r=4)
+        n_t = qc.t_count()
+        assert schedule.makespan >= n_t * 11.0
+
+    def test_per_qubit_timelines_consistent(self):
+        qc = ising_2d(2)
+        schedule, __ = schedule_circuit(qc, r=4)
+        schedule.validate()
+
+    def test_determinism(self):
+        qc = ising_2d(2)
+        a, __ = schedule_circuit(qc, r=4)
+        b, __ = schedule_circuit(qc, r=4)
+        assert a.makespan == b.makespan
+        assert len(a.ops) == len(b.ops)
+
+    def test_grid_not_mutated_across_runs(self):
+        qc = Circuit(4).h(0).cx(0, 1)
+        layout = build_layout(4, 4)
+        placement = grid_mapping(qc, layout)
+        ports = assign_factory_ports(layout, 1)
+        scheduler = LatticeSurgeryScheduler(
+            layout.grid, InstructionSet.paper(), ports
+        )
+        scheduler.run(qc, placement)
+        # template grid still empty
+        assert not layout.grid.occupied_positions()
+
+    def test_unit_isa_reduces_gate_latency(self):
+        qc = ising_2d(2)
+        paper, __ = schedule_circuit(qc, r=4, isa=InstructionSet.paper())
+        unit, __ = schedule_circuit(qc, r=4, isa=InstructionSet.unit())
+        assert unit.makespan <= paper.makespan

@@ -1,0 +1,144 @@
+"""Unit tests for space search and the displacement machinery."""
+
+import pytest
+
+from repro.arch.grid import CellRole, Grid
+from repro.routing.dijkstra import RoutingRequest, find_path
+from repro.routing.path import Path
+from repro.routing.space_search import (
+    SpaceSearchError,
+    _walk_path,
+    apply_plan,
+    clear_route,
+    find_space,
+)
+
+
+def dense_grid() -> Grid:
+    """3x3 block of data qubits centred in a 5x5 grid."""
+    grid = Grid(5, 5)
+    qid = 0
+    for r in range(1, 4):
+        for c in range(1, 4):
+            grid.place(qid, (r, c))
+            qid += 1
+    return grid
+
+
+class TestFindSpace:
+    def test_free_neighbor_costs_nothing(self):
+        grid = Grid(3, 3)
+        grid.place(0, (1, 1))
+        plan = find_space(grid, (1, 1))
+        assert plan.num_moves == 0
+
+    def test_evacuates_cheapest_neighbor(self):
+        grid = dense_grid()
+        plan = find_space(grid, (2, 2))  # centre qubit, all neighbours data
+        assert plan.num_moves >= 1
+        # The freed cell is one of the centre's neighbours.
+        assert plan.freed_cell in grid.neighbors((2, 2))
+
+    def test_apply_plan_clears_cell(self):
+        grid = dense_grid()
+        plan = find_space(grid, (2, 2))
+        apply_plan(grid, plan)
+        assert not grid.is_occupied(plan.freed_cell)
+
+    def test_apply_stale_plan_rejected(self):
+        grid = dense_grid()
+        plan = find_space(grid, (2, 2))
+        if plan.moves:
+            qubit = plan.moves[0][0]
+            grid.move(qubit, (0, 0))
+            with pytest.raises(SpaceSearchError):
+                apply_plan(grid, plan)
+
+    def test_boxed_in_raises(self):
+        grid = Grid(1, 3)
+        grid.place(0, (0, 0))
+        grid.place(1, (0, 1))
+        grid.place(2, (0, 2))
+        with pytest.raises(SpaceSearchError):
+            find_space(grid, (0, 1))
+
+
+class TestWalkPath:
+    def test_walk_through_free_cells(self):
+        grid = Grid(3, 3)
+        grid.place(0, (0, 0))
+        path = find_path(grid, RoutingRequest((0, 0), (2, 2)))
+        moves = _walk_path(grid, 0, path)
+        assert moves is not None
+        assert moves[-1][2] == (2, 2)
+        # Grid itself is not mutated by planning.
+        assert grid.position_of(0) == (0, 0)
+
+    def test_walk_displaces_blocker(self):
+        grid = Grid(3, 3)
+        grid.place(0, (0, 0))
+        grid.place(1, (0, 1))
+        path = Path(((0, 0), (0, 1), (0, 2)), cost=2.0, occupied_crossings=1)
+        moves = _walk_path(grid, 0, path)
+        assert moves is not None
+        movers = {m[0] for m in moves}
+        assert movers == {0, 1}
+
+    def test_forbidden_cells_respected(self):
+        grid = Grid(3, 3)
+        grid.place(0, (0, 0))
+        grid.place(1, (0, 1))
+        path = Path(((0, 0), (0, 1), (0, 2)), cost=2.0, occupied_crossings=1)
+        moves = _walk_path(grid, 0, path, forbidden=frozenset({(1, 1)}))
+        assert moves is not None
+        assert all(m[2] != (1, 1) for m in moves)
+
+    def test_chain_push_through_dense_row(self):
+        grid = Grid(1, 5)
+        grid.place(0, (0, 0))
+        grid.place(1, (0, 1))
+        grid.place(2, (0, 2))
+        path = Path(((0, 0), (0, 1)), cost=1.0, occupied_crossings=1)
+        moves = _walk_path(grid, 0, path)
+        # Row shift: 2 -> (0,3), 1 -> (0,2), then 0 -> (0,1).
+        assert moves is not None
+        assert ((2, (0, 2), (0, 3))) in moves
+
+
+class TestClearRoute:
+    def test_clears_parked_qubits(self):
+        grid = Grid(3, 5)
+        grid.place(9, (1, 2))
+        path = Path(
+            ((1, 0), (1, 1), (1, 2), (1, 3), (1, 4)),
+            cost=8.0,
+            occupied_crossings=1,
+        )
+        moves = clear_route(grid, path)
+        assert moves is not None
+        assert any(m[0] == 9 for m in moves)
+
+    def test_no_moves_for_free_route(self):
+        grid = Grid(3, 5)
+        path = find_path(grid, RoutingRequest((1, 0), (1, 4)))
+        assert clear_route(grid, path) == []
+
+    def test_forbidden_destination_protected(self):
+        grid = Grid(3, 5)
+        grid.place(9, (1, 2))
+        path = find_path(grid, RoutingRequest((1, 0), (1, 4)))
+        moves = clear_route(grid, path, forbidden=frozenset({(1, 4)}))
+        assert moves is not None
+        assert all(m[2] != (1, 4) for m in moves)
+
+    def test_port_cells_not_used_as_refuge(self):
+        grid = Grid(3, 3)
+        grid.set_role((0, 1), CellRole.PORT)
+        grid.place(9, (1, 1))
+        grid.place(8, (1, 0))
+        grid.place(7, (1, 2))
+        grid.place(6, (2, 1))
+        path = Path(((1, 0), (1, 1), (1, 2)), cost=1.0, occupied_crossings=1)
+        moves = clear_route(grid, path)
+        if moves is not None:
+            assert all(m[2] != (0, 1) for m in moves)

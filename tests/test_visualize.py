@@ -1,0 +1,54 @@
+"""Visualisation smoke tests."""
+
+from repro.arch.layout import build_layout
+from repro.compiler.pipeline import compile_circuit
+from repro.visualize import (
+    render_gantt,
+    render_grid,
+    render_layout,
+    utilization_histogram,
+)
+from repro.workloads import ising_2d
+
+
+class TestRenderLayout:
+    def test_shows_data_and_bus(self):
+        text = render_layout(build_layout(16, 4))
+        assert "D" in text
+        assert "." in text
+
+    def test_row_count_matches_grid(self):
+        layout = build_layout(16, 4)
+        lines = render_layout(layout).splitlines()
+        assert len(lines) == layout.grid.rows + 1  # header line
+
+
+class TestRenderGrid:
+    def test_occupants_shown(self):
+        layout = build_layout(4, 2)
+        grid = layout.grid.clone()
+        grid.place(7, layout.data_slots[0])
+        assert "7" in render_grid(grid)
+
+    def test_empty_slots_marked(self):
+        layout = build_layout(4, 2)
+        assert "_" in render_grid(layout.grid)
+
+
+class TestSchedulePlots:
+    def test_gantt_renders(self):
+        result = compile_circuit(ising_2d(2), routing_paths=4)
+        text = render_gantt(result.schedule, 4)
+        assert "q  0" in text
+        assert "timeline" in text
+
+    def test_gantt_empty_schedule(self):
+        from repro.scheduling.events import Schedule
+
+        assert "empty" in render_gantt(Schedule(), 2)
+
+    def test_utilization_histogram(self):
+        result = compile_circuit(ising_2d(2), routing_paths=4)
+        text = utilization_histogram(result.schedule)
+        assert "activity" in text
+        assert "#" in text

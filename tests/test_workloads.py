@@ -1,0 +1,141 @@
+"""Workload generator tests — Table I counts are exact requirements."""
+
+import pytest
+
+from repro.ir.properties import interaction_locality
+from repro.workloads import (
+    ADDER_N28,
+    MULTIPLIER_N15,
+    adder_n28,
+    benchmark_names,
+    cdkm_adder,
+    condensed_matter_suite,
+    fermi_hubbard_2d,
+    ghz_fanout,
+    ghz_qasmbench,
+    heisenberg_1d,
+    heisenberg_2d,
+    ising_1d,
+    ising_2d,
+    load_benchmark,
+    multiplier_n15,
+    paper_table1_benchmarks,
+    shift_add_multiplier,
+)
+from repro.workloads.qasmbench import verify_budget
+
+
+class TestTableOneCounts:
+    """Exact gate counts from the paper's Table I."""
+
+    def test_ising_2d_10x10(self):
+        counts = ising_2d(10).gate_counts()
+        assert counts == {"cx": 360, "rz": 280, "h": 300}
+
+    def test_heisenberg_2d_10x10(self):
+        counts = heisenberg_2d(10).gate_counts()
+        assert counts == {"h": 1440, "cx": 1080, "rz": 540, "s": 360, "sdg": 360}
+
+    def test_fermi_hubbard_2d_10x10(self):
+        counts = fermi_hubbard_2d(10).gate_counts()
+        assert counts == {"h": 400, "cx": 300, "s": 100, "sdg": 100, "rz": 150}
+
+    def test_ghz_n255(self):
+        counts = ghz_qasmbench(255).gate_counts()
+        assert counts == {"cx": 254, "rz": 2, "sx": 34, "x": 1}
+
+    def test_adder_n28(self):
+        circuit = adder_n28()
+        assert circuit.num_qubits == 28
+        assert verify_budget(circuit, ADDER_N28)
+
+    def test_multiplier_n15(self):
+        circuit = multiplier_n15()
+        assert circuit.num_qubits == 15
+        assert verify_budget(circuit, MULTIPLIER_N15)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("side", [2, 4, 6])
+    def test_ising_scales(self, side):
+        qc = ising_2d(side)
+        edges = 2 * side * (side - 1)
+        assert qc.count("cx") == 2 * edges
+        assert qc.count("rz") == edges + side * side
+
+    @pytest.mark.parametrize("side", [2, 4])
+    def test_heisenberg_scales(self, side):
+        qc = heisenberg_2d(side)
+        edges = 2 * side * (side - 1)
+        assert qc.count("cx") == 6 * edges
+        assert qc.count("rz") == 3 * edges
+
+    @pytest.mark.parametrize("side", [2, 4])
+    def test_fermi_hubbard_scales(self, side):
+        qc = fermi_hubbard_2d(side)
+        bonds = side * (side // 2)
+        assert qc.count("rz") == 3 * bonds
+
+    def test_1d_models(self):
+        assert ising_1d(8).count("cx") == 14
+        assert heisenberg_1d(5).count("cx") == 24
+
+    def test_rejects_tiny_lattices(self):
+        with pytest.raises(ValueError):
+            ising_2d(1)
+        with pytest.raises(ValueError):
+            heisenberg_2d(0)
+
+
+class TestLocality:
+    """The condensed-matter circuits must be NN on the 2D labelling."""
+
+    @pytest.mark.parametrize("builder", [ising_2d, heisenberg_2d, fermi_hubbard_2d])
+    def test_fully_local(self, builder):
+        assert interaction_locality(builder(4), 4) == 1.0
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(benchmark_names()) == 18
+
+    def test_load_by_name(self):
+        qc = load_benchmark("ising_2d_4x4")
+        assert qc.num_qubits == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_benchmark("shor_2048")
+
+    def test_table1_suite(self):
+        suite = paper_table1_benchmarks()
+        assert [c.num_qubits for c in suite] == [100, 100, 100, 255, 28, 15]
+
+    def test_condensed_matter_suite(self):
+        suite = condensed_matter_suite("ising")
+        assert [c.num_qubits for c in suite] == [4, 16, 36, 64, 100]
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            condensed_matter_suite("hubbard_iii")
+
+
+class TestArithmetic:
+    def test_cdkm_width(self):
+        assert cdkm_adder(4).num_qubits == 10
+
+    def test_cdkm_has_toffolis(self):
+        qc = cdkm_adder(3)
+        # 2n MAJ/UMA Toffolis, 7 T each
+        assert qc.t_count() == 7 * 2 * 3
+
+    def test_multiplier_width(self):
+        assert shift_add_multiplier(3).num_qubits == 13  # 4n+1
+
+    def test_multiplier_t_count_grows(self):
+        assert shift_add_multiplier(3).t_count() > shift_add_multiplier(2).t_count()
+
+    def test_ghz_fanout_log_depth(self):
+        qc = ghz_fanout(16)
+        assert qc.count("cx") == 15
+        assert qc.depth() <= 6
