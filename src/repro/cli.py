@@ -24,6 +24,7 @@ from .experiments import ALL_EXPERIMENTS
 from .ir import qasm
 from .ir.passes import optimize
 from .metrics.report import Table
+from .perf import BENCH_FILENAME
 from .workloads import benchmark_names, load_benchmark
 
 
@@ -54,6 +55,20 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_cmd.add_argument("figure", choices=sorted(ALL_EXPERIMENTS))
     exp_cmd.add_argument("--fast", action="store_true",
                          help="4x4 lattices instead of the paper's 10x10")
+
+    bench_perf = sub.add_parser(
+        "bench", help="time end-to-end compilation over the workload suite"
+    )
+    bench_perf.add_argument("--fast", action="store_true",
+                            help="smoke matrix (sub-second) instead of the full suite")
+    bench_perf.add_argument("--repeat", type=int, default=1,
+                            help="timing repetitions per case (best is kept)")
+    bench_perf.add_argument("--workload", action="append", dest="workloads",
+                            help="repeatable workload-name filter")
+    bench_perf.add_argument("--output", "-o", default=None,
+                            help=f"output JSON path (default {BENCH_FILENAME}; '-' to skip)")
+    bench_perf.add_argument("--baseline", default=None,
+                            help="compare against a previous BENCH_*.json")
 
     sub.add_parser("list", help="list available benchmarks and experiments")
     return parser
@@ -103,6 +118,41 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .perf import bench_cases, compare_reports, run_bench
+
+    if not bench_cases(args.fast, args.workloads):
+        known = sorted({c.workload for c in bench_cases(args.fast)})
+        print(f"error: no benchmark cases match --workload {args.workloads}")
+        print(f"workloads in this matrix: {', '.join(known)}")
+        return 2
+    report = run_bench(
+        fast=args.fast,
+        repeat=args.repeat,
+        workloads=args.workloads,
+        progress=print,
+    )
+    print()
+    print(report.to_text())
+    output = args.output if args.output is not None else BENCH_FILENAME
+    if output != "-":
+        report.write(output)
+        print(f"wrote {output}")
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+        print()
+        for line in compare_reports(baseline, report):
+            print(line)
+    return 0
+
+
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in benchmark_names():
@@ -122,6 +172,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_benchmark(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -49,6 +49,9 @@ class DagCircuit:
         self.num_qubits = circuit.num_qubits
         self.nodes: List[DagNode] = []
         last_on_wire: Dict[int, Optional[int]] = defaultdict(lambda: None)
+        # (node index, qubit) -> index of the next gate on that wire; lets
+        # the scheduler's look-ahead query skip the successor-cone walk.
+        self._next_on_wire: Dict[tuple, int] = {}
 
         for position, gate in enumerate(circuit):
             if gate.name == BARRIER:
@@ -62,6 +65,7 @@ class DagCircuit:
                 if prev is not None:
                     node.predecessors.add(prev)
                     self.nodes[prev].successors.add(node.index)
+                    self._next_on_wire[(prev, q)] = node.index
                 last_on_wire[q] = node.index
             self.nodes.append(node)
         self._compute_layers()
@@ -133,6 +137,12 @@ class DagCircuit:
         to decide where a data qubit should drift after its current gate.
         """
         start = self.nodes[after]
+        if qubit in start.qubits:
+            # Gates on one wire form a dependency chain, so the first
+            # transitive successor acting on the qubit is exactly the next
+            # gate on that wire — precomputed at construction.
+            nxt = self._next_on_wire.get((after, qubit))
+            return None if nxt is None else self.nodes[nxt]
         best: Optional[DagNode] = None
         stack = list(start.successors)
         seen: Set[int] = set()

@@ -1,0 +1,19 @@
+"""Compiler performance benchmarking (the ``repro bench`` subcommand)."""
+
+from .bench import (
+    BENCH_FILENAME,
+    BenchCase,
+    BenchReport,
+    bench_cases,
+    compare_reports,
+    run_bench,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BenchCase",
+    "BenchReport",
+    "bench_cases",
+    "compare_reports",
+    "run_bench",
+]

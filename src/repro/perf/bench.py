@@ -1,0 +1,209 @@
+"""End-to-end compile-time benchmark harness.
+
+The routing/scheduling inner loop is the compiler's hot path; this module
+measures it the way users experience it — wall time of full compilations
+over the fig9/fig11 workload suite (condensed-matter Trotter circuits at
+several lattice sizes, routing-path counts and factory counts).
+
+Each run writes ``BENCH_routing.json``: per-case wall time plus the
+behavioural fingerprint (makespan, scheduler stats, op counts), so future
+performance work has a trajectory to regress against — a speedup only
+counts when the fingerprint is unchanged.
+
+Usage::
+
+    repro bench                 # full suite, writes BENCH_routing.json
+    repro bench --fast          # smoke suite (seconds), for CI
+    repro bench --repeat 3      # best-of-3 wall times
+    repro bench --baseline BENCH_routing.json   # compare against a file
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import FaultTolerantCompiler
+from ..workloads import load_benchmark
+
+#: default output file, tracked over time as the perf trajectory.
+BENCH_FILENAME = "BENCH_routing.json"
+
+#: (workload, routing_paths, num_factories) matrix for the full suite —
+#: the fig9 sweep shape (r x factories) plus fig11-style r variation.
+_FULL_MATRIX = [
+    ("ising_2d_4x4", 3, 1),
+    ("ising_2d_4x4", 4, 2),
+    ("ising_2d_4x4", 6, 4),
+    ("heisenberg_2d_4x4", 3, 1),
+    ("heisenberg_2d_4x4", 5, 2),
+    ("fermi_hubbard_2d_4x4", 4, 1),
+    ("fermi_hubbard_2d_4x4", 6, 2),
+    ("ising_2d_6x6", 3, 1),
+    ("ising_2d_6x6", 6, 2),
+    ("heisenberg_2d_6x6", 4, 1),
+    ("ising_2d_8x8", 4, 2),
+    ("heisenberg_2d_8x8", 6, 2),
+    ("ising_2d_10x10", 4, 2),
+]
+
+#: quick smoke matrix (sub-second): CI and pre-commit sanity.
+_FAST_MATRIX = [
+    ("ising_2d_2x2", 3, 1),
+    ("heisenberg_2d_2x2", 3, 1),
+    ("fermi_hubbard_2d_2x2", 4, 1),
+    ("ising_2d_4x4", 4, 2),
+]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark point: a workload compiled at fixed (r, factories)."""
+
+    workload: str
+    routing_paths: int
+    num_factories: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.workload}/r{self.routing_paths}/f{self.num_factories}"
+
+
+@dataclass
+class BenchReport:
+    """Results of one harness run."""
+
+    cases: Dict[str, dict] = field(default_factory=dict)
+    total_wall: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "meta": self.meta,
+            "total_wall": round(self.total_wall, 4),
+            "cases": self.cases,
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        width = max((len(k) for k in self.cases), default=10)
+        lines = [
+            f"{'case'.ljust(width)}  {'wall_s':>8}  {'makespan':>9}  "
+            f"{'ops':>6}  {'moves':>6}"
+        ]
+        for key, row in self.cases.items():
+            lines.append(
+                f"{key.ljust(width)}  {row['wall']:>8.3f}  "
+                f"{row['makespan']:>9.1f}  {row['num_ops']:>6}  "
+                f"{row['num_moves']:>6}"
+            )
+        lines.append(f"total wall time: {self.total_wall:.3f}s")
+        return "\n".join(lines)
+
+
+def bench_cases(fast: bool = False, workloads: Optional[List[str]] = None) -> List[BenchCase]:
+    """The benchmark matrix, optionally filtered to named workloads."""
+    matrix = _FAST_MATRIX if fast else _FULL_MATRIX
+    cases = [BenchCase(*entry) for entry in matrix]
+    if workloads:
+        cases = [c for c in cases if c.workload in workloads]
+    return cases
+
+
+def _run_case(case: BenchCase, repeat: int) -> dict:
+    circuit = load_benchmark(case.workload)
+    config = CompilerConfig(
+        routing_paths=case.routing_paths, num_factories=case.num_factories
+    )
+    compiler = FaultTolerantCompiler(config)
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = compiler.compile(circuit)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "wall": round(best, 4),
+        "makespan": result.schedule.makespan,
+        "num_ops": len(result.schedule),
+        "num_moves": result.schedule.num_moves,
+        "total_qubits": result.total_qubits,
+        "stats": result.stats,
+    }
+
+
+def run_bench(
+    fast: bool = False,
+    repeat: int = 1,
+    workloads: Optional[List[str]] = None,
+    progress=None,
+) -> BenchReport:
+    """Compile the suite, timing each case (best-of-``repeat``).
+
+    Args:
+        fast: use the smoke matrix instead of the full fig9/fig11 suite.
+        repeat: timing repetitions per case; the minimum wall time is kept
+            (behavioural outputs are deterministic across repetitions).
+        workloads: optional workload-name filter.
+        progress: optional callable invoked with a line per finished case.
+    """
+    report = BenchReport(
+        meta={
+            "version": __version__,
+            "python": platform.python_version(),
+            "mode": "fast" if fast else "full",
+            "repeat": max(1, repeat),
+        }
+    )
+    for case in bench_cases(fast, workloads):
+        row = _run_case(case, repeat)
+        report.cases[case.key] = row
+        report.total_wall += row["wall"]
+        if progress is not None:
+            progress(f"{case.key}: {row['wall']:.3f}s makespan={row['makespan']}")
+    return report
+
+
+def compare_reports(baseline: dict, current: BenchReport) -> List[str]:
+    """Human-readable comparison lines against a previous ``BENCH_*.json``.
+
+    Flags any behavioural drift (makespan / stats / op counts) — a perf
+    change must not alter the compiled schedule — and reports per-case and
+    total speedup.
+    """
+    lines: List[str] = []
+    base_cases = baseline.get("cases", {})
+    drift = False
+    for key, row in current.cases.items():
+        base = base_cases.get(key)
+        if base is None:
+            lines.append(f"{key}: no baseline entry")
+            continue
+        for field_name in ("makespan", "num_ops", "num_moves", "stats"):
+            if base.get(field_name) != row.get(field_name):
+                drift = True
+                lines.append(
+                    f"{key}: BEHAVIOUR DRIFT in {field_name}: "
+                    f"{base.get(field_name)} -> {row.get(field_name)}"
+                )
+        if base.get("wall") and row.get("wall"):
+            lines.append(f"{key}: {base['wall'] / row['wall']:.2f}x vs baseline")
+    base_total = baseline.get("total_wall")
+    if base_total and current.total_wall:
+        lines.append(
+            f"total: {base_total / current.total_wall:.2f}x vs baseline"
+            f" ({base_total:.3f}s -> {current.total_wall:.3f}s)"
+        )
+    if not drift:
+        lines.append("behaviour: identical to baseline")
+    return lines

@@ -163,53 +163,53 @@ def _plan_with_eviction(
             ancilla = cnot_ancilla_cell(dest, anchor_pos)
         if ancilla not in grid or not grid.routable(ancilla):
             continue
-        scratch = grid.clone()
-        moves: List[Move] = []
-        feasible = True
-        protected_cells = frozenset({anchor_pos})
-        keep_off = {dest, ancilla}
-        for cell in (dest, ancilla):
-            occupant = scratch.occupant(cell)
-            if occupant is None or occupant == mover:
-                continue
-            if occupant == anchor:
-                feasible = False
-                break
-            eviction = _displace_blocker(
-                scratch, cell, protected_cells, keep_off, 0
-            )
-            if eviction is None:
-                feasible = False
-                break
-            moves.extend(eviction)
-        if not feasible:
-            continue
-        # The eviction may have dragged the anchor or mover along; verify.
-        if scratch.position_of(anchor) != anchor_pos:
-            continue
-        mover_now = scratch.position_of(mover)
-        if mover_now != dest:
-            if scratch.is_occupied(dest):
-                continue
-            protected = frozenset({ancilla, anchor_pos})
-            try:
-                path = find_path(
-                    scratch,
-                    RoutingRequest(
-                        source=mover_now,
-                        destination=dest,
-                        avoid=protected,
-                        allow_occupied=True,
-                    ),
+        with grid.scratch() as scratch:
+            moves: List[Move] = []
+            feasible = True
+            protected_cells = frozenset({anchor_pos})
+            keep_off = {dest, ancilla}
+            for cell in (dest, ancilla):
+                occupant = scratch.occupant(cell)
+                if occupant is None or occupant == mover:
+                    continue
+                if occupant == anchor:
+                    feasible = False
+                    break
+                eviction = _displace_blocker(
+                    scratch, cell, protected_cells, keep_off, 0
                 )
-            except NoPathError:
+                if eviction is None:
+                    feasible = False
+                    break
+                moves.extend(eviction)
+            if not feasible:
                 continue
-            walk = _walk_path(
-                scratch, mover, path, forbidden=protected | frozenset({dest})
-            )
-            if walk is None:
+            # The eviction may have dragged the anchor or mover along; verify.
+            if scratch.position_of(anchor) != anchor_pos:
                 continue
-            moves.extend(walk)
+            mover_now = scratch.position_of(mover)
+            if mover_now != dest:
+                if scratch.is_occupied(dest):
+                    continue
+                protected = frozenset({ancilla, anchor_pos})
+                try:
+                    path = find_path(
+                        scratch,
+                        RoutingRequest(
+                            source=mover_now,
+                            destination=dest,
+                            avoid=protected,
+                            allow_occupied=True,
+                        ),
+                    )
+                except NoPathError:
+                    continue
+                walk = _walk_path(
+                    scratch, mover, path, forbidden=protected | frozenset({dest})
+                )
+                if walk is None:
+                    continue
+                moves.extend(walk)
         if moving_is_target:
             control_pos, target_pos = anchor_pos, dest
         else:
@@ -295,9 +295,9 @@ def plan_cnot_alignment(
     moves = _walk_path(grid, target, _truncate(path, len(prefix_cells)))
     if moves is None:
         raise AlignmentError(f"qubits {control},{target} wedged (no partial path)")
-    scratch = grid.clone()
-    apply_moves(scratch, moves)
-    tail = plan_cnot_alignment(scratch, control, target, drift_goals, _depth + 1)
+    with grid.scratch() as scratch:
+        apply_moves(scratch, moves)
+        tail = plan_cnot_alignment(scratch, control, target, drift_goals, _depth + 1)
     return AlignmentPlan(
         tuple(moves) + tail.moves, tail.control_pos, tail.target_pos, tail.ancilla
     )

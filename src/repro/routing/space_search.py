@@ -54,7 +54,7 @@ class SpaceSearchError(RuntimeError):
 # ---------------------------------------------------------------------------
 # Displacement primitives.  All of them MUTATE the grid they are given and
 # return the move list, or return None leaving the grid untouched on failure
-# (failed sub-steps are attempted on clones).
+# (failed sub-steps are attempted in nested scratch blocks and rolled back).
 # ---------------------------------------------------------------------------
 
 
@@ -112,29 +112,33 @@ def _chain_push_dir(
     keep_off: Set[Position],
 ) -> Optional[List[Move]]:
     """Plan (without applying) a one-step segment shift along ``direction``."""
-    segment: List[Position] = []
-    probe = start
-    while probe in grid and grid.routable(probe) and probe not in banned:
-        if not grid.is_occupied(probe):
-            break
-        segment.append(probe)
-        probe = (probe[0] + direction[0], probe[1] + direction[1])
     from ..arch.grid import CellRole
 
-    if (
-        probe not in grid
-        or not grid.routable(probe)
-        or grid.role(probe) == CellRole.PORT
-        or probe in banned
-        or probe in keep_off
-        or grid.is_occupied(probe)
-    ):
+    rows, cols = grid.rows, grid.cols
+    occ = grid._occ
+    routable = grid._routable_b
+    roles = grid._role
+    dr, dc = direction
+    segment: List[Tuple[Position, int]] = []
+    r, c = start
+    while True:
+        if not (0 <= r < rows and 0 <= c < cols):
+            return None
+        probe = (r, c)
+        i = r * cols + c
+        if not routable[i] or probe in banned:
+            return None
+        occupant = occ[i]
+        if occupant is None:
+            break
+        segment.append((probe, occupant))
+        r += dr
+        c += dc
+    if roles[i] is CellRole.PORT or probe in keep_off:
         return None
     moves: List[Move] = []
     free = probe
-    for pos in reversed(segment):
-        occupant = grid.occupant(pos)
-        assert occupant is not None
+    for pos, occupant in reversed(segment):
         moves.append((occupant, pos, free))
         free = pos
     return moves
@@ -153,26 +157,26 @@ def _evacuate(
         return []
     from ..arch.grid import CellRole
 
-    candidates = reachable_free_cells(grid, victim_pos)
+    candidates = reachable_free_cells(grid, victim_pos, limit=8)
     for __, refuge in candidates[:8]:
         if refuge in banned or refuge in keep_off:
             continue
         if grid.role(refuge) == CellRole.PORT:
             continue
-        scratch = grid.clone()
-        try:
-            path = find_path(
-                scratch,
-                RoutingRequest(
-                    source=victim_pos,
-                    destination=refuge,
-                    avoid=banned,
-                    allow_occupied=True,
-                ),
-            )
-        except NoPathError:
-            continue
-        moves = _walk_path_inner(scratch, victim, path, banned, keep_off, depth)
+        with grid.scratch() as scratch:
+            try:
+                path = find_path(
+                    scratch,
+                    RoutingRequest(
+                        source=victim_pos,
+                        destination=refuge,
+                        avoid=banned,
+                        allow_occupied=True,
+                    ),
+                )
+            except NoPathError:
+                continue
+            moves = _walk_path_inner(scratch, victim, path, banned, keep_off, depth)
         if moves is None:
             continue
         _commit(grid, moves)
@@ -225,8 +229,8 @@ def _commit(grid: Grid, moves: List[Move]) -> None:
 
 
 # ---------------------------------------------------------------------------
-# Public planning helpers.  These do NOT mutate the input grid; they plan on
-# clones and return move lists for the caller to execute.
+# Public planning helpers.  These do NOT mutate the input grid; they plan in
+# a scratch (undo-log) block and return move lists for the caller to execute.
 # ---------------------------------------------------------------------------
 
 
@@ -242,17 +246,16 @@ def _walk_path(
     ``forbidden`` cells are never entered by anyone (the CNOT planner
     reserves the destination/ancilla/anchor cells this way).
     """
-    scratch = grid.clone()
-    return _walk_path_inner(
-        scratch, qubit, path, frozenset(forbidden or ()), set(), 0
-    )
+    with grid.scratch() as scratch:
+        return _walk_path_inner(
+            scratch, qubit, path, frozenset(forbidden or ()), set(), 0
+        )
 
 
 def _evacuation_moves(grid: Grid, victim_pos: Position) -> Optional[List[Move]]:
     """Plan moves pushing the occupant of ``victim_pos`` to free space."""
-    scratch = grid.clone()
-    moves = _evacuate(scratch, victim_pos, frozenset(), set(), 0)
-    return moves
+    with grid.scratch() as scratch:
+        return _evacuate(scratch, victim_pos, frozenset(), set(), 0)
 
 
 def clear_route(
@@ -269,16 +272,16 @@ def clear_route(
     """
     banned = frozenset(forbidden or ())
     moves: List[Move] = []
-    scratch = grid.clone()
     cells = list(path.cells)
-    for step, cell in enumerate(cells):
-        if not scratch.is_occupied(cell):
-            continue
-        keep_off = set(cells[step:])
-        displaced = _displace_blocker(scratch, cell, banned, keep_off, 0)
-        if displaced is None:
-            return None
-        moves.extend(displaced)
+    with grid.scratch() as scratch:
+        for step, cell in enumerate(cells):
+            if not scratch.is_occupied(cell):
+                continue
+            keep_off = set(cells[step:])
+            displaced = _displace_blocker(scratch, cell, banned, keep_off, 0)
+            if displaced is None:
+                return None
+            moves.extend(displaced)
     return moves
 
 
@@ -295,8 +298,8 @@ def find_space(grid: Grid, target: Position) -> EvacuationPlan:
             continue
         if not grid.is_occupied(pos):
             return EvacuationPlan(freed_cell=pos, moves=())
-        scratch = grid.clone()
-        moves = _displace_blocker(scratch, pos, frozenset({target}), set(), 0)
+        with grid.scratch() as scratch:
+            moves = _displace_blocker(scratch, pos, frozenset({target}), set(), 0)
         if moves is None:
             continue
         plan = EvacuationPlan(freed_cell=pos, moves=tuple(moves))

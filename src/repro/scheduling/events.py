@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..arch.grid import Position
@@ -57,7 +57,14 @@ class ScheduledOp:
 
     def shifted(self, new_start: float) -> "ScheduledOp":
         """Copy with a different start time (used by resimulation)."""
-        return replace(self, start=new_start)
+        if new_start == self.start:
+            return self
+        return ScheduledOp(
+            uid=self.uid, kind=self.kind, name=self.name, qubits=self.qubits,
+            cells=self.cells, start=new_start, duration=self.duration,
+            min_start=self.min_start, gate_index=self.gate_index,
+            note=self.note,
+        )
 
     def __str__(self) -> str:
         qubits = ",".join(map(str, self.qubits))

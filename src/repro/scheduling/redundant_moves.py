@@ -57,9 +57,12 @@ def find_redundant_pairs(schedule: Schedule) -> List[Tuple[int, int]]:
     claimed: Set[int] = set()
     # Pending unmatched move per qubit: (index, origin, dest).
     pending: Dict[int, Tuple[int, Position, Position]] = {}
-    # Ops seen since the pending move, per qubit, that would invalidate it.
-    dirty: Dict[int, bool] = {}
-    cell_dirty: Dict[int, Set[Position]] = {}
+    # A pending pair is invalidated by later activity; rather than growing a
+    # dirty-set per pending qubit (quadratic in schedule length), track the
+    # last op index that used each qubit / locked each cell and compare
+    # against the pending move's index.
+    last_use: Dict[int, int] = {}
+    last_touch: Dict[Position, int] = {}
 
     for idx, op in enumerate(ops):
         if _is_move(op):
@@ -68,32 +71,28 @@ def find_redundant_pairs(schedule: Schedule) -> List[Tuple[int, int]]:
             prior = pending.get(qubit)
             if (
                 prior is not None
-                and not dirty.get(qubit, False)
+                and last_use.get(qubit, -1) <= prior[0]
                 and prior[1] == dest
                 and prior[2] == origin
-                and not ({origin, dest} & cell_dirty.get(qubit, set()))
+                and last_touch.get(origin, -1) <= prior[0]
+                and last_touch.get(dest, -1) <= prior[0]
                 and prior[0] not in claimed
             ):
                 pairs.append((prior[0], idx))
                 claimed.add(prior[0])
                 claimed.add(idx)
                 pending.pop(qubit, None)
-                dirty.pop(qubit, None)
-                cell_dirty.pop(qubit, None)
+                # Cancelled pairs vanish from the schedule, so they do not
+                # invalidate other qubits' pending moves.
                 continue
             pending[qubit] = (idx, origin, dest)
-            dirty[qubit] = False
-            cell_dirty[qubit] = set()
-            # This move's cells may invalidate other qubits' pending pairs.
-            for other, cells in cell_dirty.items():
-                if other != qubit:
-                    cells.update(op.cells)
+            last_touch[origin] = idx
+            last_touch[dest] = idx
             continue
         for qubit in op.qubits:
-            if qubit in pending:
-                dirty[qubit] = True
-        for tracked, cells in cell_dirty.items():
-            cells.update(op.cells)
+            last_use[qubit] = idx
+        for cell in op.cells:
+            last_touch[cell] = idx
     return pairs
 
 

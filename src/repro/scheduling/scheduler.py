@@ -33,6 +33,8 @@ from ..routing.dijkstra import (
     NoPathError,
     RoutingRequest,
     find_path,
+    find_path_to_any,
+    find_paths_to_all,
     reachable_free_cells,
 )
 from ..routing.neighbor_moves import AlignmentError, plan_cnot_alignment
@@ -178,14 +180,25 @@ class LatticeSurgeryScheduler:
         )
         self._uid += 1
         self._schedule.append(op)
+        end = op.end
+        qubit_free = self._qubit_free
         for q in qubits:
-            self._qubit_free[q] = max(self._qubit_free.get(q, 0.0), op.end)
+            if end > qubit_free.get(q, 0.0):
+                qubit_free[q] = end
+        cell_free = self._cell_free
         for c in op.resource_cells():
-            self._cell_free[c] = max(self._cell_free.get(c, 0.0), op.end)
+            if end > cell_free.get(c, 0.0):
+                cell_free[c] = end
         return op
 
     def _cells_ready(self, cells: Sequence[Position]) -> float:
-        return max((self._cell_free.get(c, 0.0) for c in cells), default=0.0)
+        cell_free = self._cell_free
+        ready = 0.0
+        for c in cells:
+            t = cell_free.get(c, 0.0)
+            if t > ready:
+                ready = t
+        return ready
 
     def _execute_moves(
         self,
@@ -416,34 +429,24 @@ class LatticeSurgeryScheduler:
         format as :meth:`_route_magic_state`, with swap crossings encoded
         as data-qubit moves (origin -> the state's previous cell).
         """
-        best = None
-        for goal in sorted(goals):
-            try:
-                path = find_path(
-                    self.grid,
-                    RoutingRequest(
-                        source=port,
-                        destination=goal,
-                        allow_occupied=True,
-                        penalty_weight=2,
-                    ),
-                )
-            except NoPathError:
-                continue
-            if best is None or path.cost < best.cost:
-                best = path
-        if best is None or self.grid.is_occupied(port):
+        try:
+            best = find_path_to_any(
+                self.grid, port, goals, allow_occupied=True, penalty_weight=2
+            )
+        except NoPathError:
+            return None, []
+        if self.grid.is_occupied(port):
             return None, []
         transit = []
-        scratch = self.grid.clone()
-        prev = best.cells[0]
-        for cell in best.cells[1:]:
-            occupant = scratch.occupant(cell)
-            if occupant is not None:
-                scratch.move(occupant, prev)
-                transit.append((occupant, cell, prev))
-            transit.append((self._MAGIC_ID, prev, cell))
-            prev = cell
+        with self.grid.scratch() as scratch:
+            prev = best.cells[0]
+            for cell in best.cells[1:]:
+                occupant = scratch.occupant(cell)
+                if occupant is not None:
+                    scratch.move(occupant, prev)
+                    transit.append((occupant, cell, prev))
+                transit.append((self._MAGIC_ID, prev, cell))
+                prev = cell
         return best.destination, transit
 
     def _route_magic_state(self, port: Position, qubit: int, goals: Set[Position]):
@@ -459,61 +462,58 @@ class LatticeSurgeryScheduler:
             state's own hops (qubit id ``_MAGIC_ID``), or (None, []) when
             no goal is reachable.
         """
+        # One single-source sweep covers every goal; the penalty ladders run
+        # only for goals with no free-only route, again one sweep per weight.
+        free_paths = find_paths_to_all(
+            self.grid, port, goals, allow_occupied=False
+        )
+        blocked = {g for g in goals if g not in free_paths}
+        # Penalty variants: higher weights hug free corridors and cross
+        # the data block only for the final cut-in, which keeps the
+        # displacement shallow.
+        penalised = {
+            weight: find_paths_to_all(
+                self.grid, port, blocked,
+                allow_occupied=True, penalty_weight=weight,
+            )
+            for weight in ((1, 8, 32) if blocked else ())
+        }
         candidates = []
         seen = set()
         for goal in sorted(goals):
-            try:
-                path = find_path(
-                    self.grid,
-                    RoutingRequest(
-                        source=port, destination=goal, allow_occupied=False
-                    ),
-                )
+            path = free_paths.get(goal)
+            if path is not None:
                 candidates.append(path)
                 continue  # free-only route found; penalised ones are moot
-            except NoPathError:
-                pass
-            # Penalty variants: higher weights hug free corridors and cross
-            # the data block only for the final cut-in, which keeps the
-            # displacement shallow.
             for weight in (1, 8, 32):
-                try:
-                    path = find_path(
-                        self.grid,
-                        RoutingRequest(
-                            source=port,
-                            destination=goal,
-                            allow_occupied=True,
-                            penalty_weight=weight,
-                        ),
-                    )
-                except NoPathError:
+                path = penalised[weight].get(goal)
+                if path is None:
                     continue
                 if path.cells not in seen:
                     seen.add(path.cells)
                     candidates.append(path)
         for path in sorted(candidates, key=lambda p: p.cost):
-            scratch = self.grid.clone()
-            if scratch.is_occupied(port):
-                # A stray data qubit is resting on the delivery cell;
-                # shove it aside before the state can emerge.
-                cleared = _displace_blocker(
-                    scratch, port, frozenset(), set(path.cells), 0
+            with self.grid.scratch() as scratch:
+                if scratch.is_occupied(port):
+                    # A stray data qubit is resting on the delivery cell;
+                    # shove it aside before the state can emerge.
+                    cleared = _displace_blocker(
+                        scratch, port, frozenset(), set(path.cells), 0
+                    )
+                    if cleared is None:
+                        continue
+                    prefix = cleared
+                else:
+                    prefix = []
+                scratch.place(self._MAGIC_ID, port)
+                moves = _walk_path_inner(
+                    scratch,
+                    self._MAGIC_ID,
+                    path,
+                    banned=frozenset(),
+                    keep_off=set(),
+                    depth=0,
                 )
-                if cleared is None:
-                    continue
-                prefix = cleared
-            else:
-                prefix = []
-            scratch.place(self._MAGIC_ID, port)
-            moves = _walk_path_inner(
-                scratch,
-                self._MAGIC_ID,
-                path,
-                banned=frozenset(),
-                keep_off=set(),
-                depth=0,
-            )
             if moves is not None:
                 return path.destination, prefix + moves
         return None, []
@@ -565,7 +565,7 @@ class LatticeSurgeryScheduler:
         fighting through the whole data block.
         """
         pos = self.grid.position_of(qubit)
-        candidates = reachable_free_cells(self.grid, pos)
+        candidates = reachable_free_cells(self.grid, pos, limit=6)
         for __, refuge in candidates[:6]:
             if not self.grid.parkable(refuge):
                 continue

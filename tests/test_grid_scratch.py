@@ -1,0 +1,188 @@
+"""Occupancy-invariant and scratch-mode tests for the flat-array grid."""
+
+import random
+
+import pytest
+
+from repro.arch.grid import CellRole, Grid, GridError
+
+
+@pytest.fixture
+def grid():
+    return Grid(4, 5)
+
+
+def _snapshot(grid):
+    return (
+        [grid.role((r, c)) for r in range(grid.rows) for c in range(grid.cols)],
+        [grid.occupant((r, c)) for r in range(grid.rows) for c in range(grid.cols)],
+        grid.placed_qubits(),
+    )
+
+
+class TestOccupancyInvariants:
+    def test_place_rejects_out_of_bounds(self, grid):
+        for pos in [(-1, 0), (0, -1), (4, 0), (0, 5), (99, 99)]:
+            with pytest.raises(GridError):
+                grid.place(1, pos)
+        assert grid.placed_qubits() == {}
+
+    def test_move_rejects_out_of_bounds(self, grid):
+        grid.place(1, (0, 0))
+        with pytest.raises(GridError):
+            grid.move(1, (0, -1))
+        assert grid.position_of(1) == (0, 0)
+
+    def test_failed_place_leaves_grid_unchanged(self, grid):
+        grid.place(1, (1, 1))
+        before = _snapshot(grid)
+        with pytest.raises(GridError):
+            grid.place(2, (1, 1))  # occupied cell
+        with pytest.raises(GridError):
+            grid.place(1, (0, 0))  # qubit already placed
+        assert _snapshot(grid) == before
+
+    def test_failed_move_leaves_grid_unchanged(self, grid):
+        grid.place(1, (0, 0))
+        grid.place(2, (0, 1))
+        before = _snapshot(grid)
+        with pytest.raises(GridError):
+            grid.move(1, (0, 1))
+        with pytest.raises(GridError):
+            grid.move(42, (3, 3))  # unplaced qubit
+        assert _snapshot(grid) == before
+
+    def test_remove_unplaced_qubit_rejected(self, grid):
+        with pytest.raises(GridError):
+            grid.remove(7)
+
+    def test_place_after_remove_is_clean(self, grid):
+        grid.place(1, (2, 2))
+        assert grid.remove(1) == (2, 2)
+        grid.place(1, (3, 3))  # same id may be placed again
+        assert grid.position_of(1) == (3, 3)
+        assert not grid.is_occupied((2, 2))
+
+    def test_occupancy_maps_stay_consistent(self, grid):
+        rng = random.Random(7)
+        for qubit in range(8):
+            grid.place(qubit, (qubit // 5, qubit % 5))
+        for _ in range(200):
+            qubit = rng.randrange(8)
+            dest = (rng.randrange(4), rng.randrange(5))
+            try:
+                grid.move(qubit, dest)
+            except GridError:
+                pass
+            # forward and reverse maps must agree after every op
+            for q, pos in grid.placed_qubits().items():
+                assert grid.occupant(pos) == q
+
+    def test_epoch_increments_on_every_mutation(self, grid):
+        e0 = grid.epoch
+        grid.place(1, (0, 0))
+        e1 = grid.epoch
+        grid.move(1, (0, 1))
+        e2 = grid.epoch
+        grid.remove(1)
+        e3 = grid.epoch
+        grid.set_role((3, 3), CellRole.DATA)
+        e4 = grid.epoch
+        assert e0 < e1 < e2 < e3 < e4
+
+
+class TestScratchMode:
+    def test_scratch_rolls_back_all_mutation_kinds(self, grid):
+        grid.place(1, (0, 0))
+        grid.place(2, (1, 1))
+        before = _snapshot(grid)
+        epoch = grid.epoch
+        with grid.scratch() as scratch:
+            scratch.move(1, (0, 1))
+            scratch.place(3, (2, 2))
+            scratch.remove(2)
+            scratch.set_role((3, 4), CellRole.PORT)
+            assert scratch.position_of(1) == (0, 1)
+        assert _snapshot(grid) == before
+        assert grid.epoch == epoch
+
+    def test_scratch_rolls_back_on_exception(self, grid):
+        grid.place(1, (0, 0))
+        before = _snapshot(grid)
+        with pytest.raises(RuntimeError):
+            with grid.scratch() as scratch:
+                scratch.move(1, (2, 2))
+                raise RuntimeError("planning failed")
+        assert _snapshot(grid) == before
+
+    def test_nested_scratch_blocks(self, grid):
+        grid.place(1, (0, 0))
+        with grid.scratch() as outer:
+            outer.move(1, (0, 1))
+            with outer.scratch() as inner:
+                inner.move(1, (0, 2))
+                assert inner.position_of(1) == (0, 2)
+            assert outer.position_of(1) == (0, 1)  # inner undone only
+        assert grid.position_of(1) == (0, 0)
+
+    def test_scratch_equivalent_to_clone_for_planning(self, grid):
+        """A scratch walk sees exactly the state a clone walk would."""
+        rng = random.Random(3)
+        for qubit in range(6):
+            grid.place(qubit, (qubit // 5, qubit % 5))
+        moves = []
+        clone = grid.clone()
+        with grid.scratch() as scratch:
+            for _ in range(50):
+                qubit = rng.randrange(6)
+                dest = (rng.randrange(4), rng.randrange(5))
+                try:
+                    origin = scratch.position_of(qubit)
+                    scratch.move(qubit, dest)
+                    moves.append((qubit, origin, dest))
+                except GridError:
+                    continue
+            scratch_state = _snapshot(scratch)
+        # replay the recorded moves on the clone: states must match
+        for qubit, origin, dest in moves:
+            assert clone.position_of(qubit) == origin
+            clone.move(qubit, dest)
+        assert _snapshot(clone) == scratch_state
+        # and the real grid is untouched
+        assert _snapshot(grid) == _snapshot(grid.clone())
+
+    def test_rollback_restores_interleaved_chain_moves(self, grid):
+        # A chain push moves several qubits through the same cells; the
+        # undo log must restore them in exact reverse order.
+        for col in range(4):
+            grid.place(col, (0, col))
+        before = _snapshot(grid)
+        with grid.scratch() as scratch:
+            for col in reversed(range(4)):
+                scratch.move(col, (0, col + 1))
+            for col in range(4):
+                scratch.move(col, (0, col))
+        assert _snapshot(grid) == before
+
+
+class TestCloneIndependence:
+    def test_clone_shares_no_mutable_state(self, grid):
+        grid.place(1, (0, 0))
+        grid.set_role((2, 2), CellRole.DATA)
+        dup = grid.clone()
+        dup.move(1, (3, 3))
+        dup.set_role((2, 2), CellRole.FACTORY)
+        dup.place(2, (1, 1))
+        assert grid.position_of(1) == (0, 0)
+        assert grid.role((2, 2)) == CellRole.DATA
+        assert not grid.is_occupied((1, 1))
+
+    def test_clone_inside_scratch_sees_scratch_state(self, grid):
+        grid.place(1, (0, 0))
+        with grid.scratch() as scratch:
+            scratch.move(1, (2, 2))
+            dup = scratch.clone()
+        assert dup.position_of(1) == (2, 2)
+        assert grid.position_of(1) == (0, 0)
+        dup.move(1, (3, 3))  # clone stays valid after rollback
+        assert dup.position_of(1) == (3, 3)
