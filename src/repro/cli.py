@@ -4,11 +4,17 @@ Usage::
 
     python -m repro compile program.qasm --routing-paths 4 --factories 1
     python -m repro benchmark ising_2d_4x4 -r 3 -r 6
-    python -m repro experiment fig9 --fast
+    python -m repro experiment fig9 --fast --jobs 4
+    python -m repro experiment all --fast
     python -m repro list
 
 The CLI is intentionally thin: it parses arguments, calls the library and
-prints the same text tables the experiment harness produces.
+prints the same text tables the experiment harness produces.  Experiment
+sweeps run through the :mod:`repro.sweep` engine: compile points shared
+across figures are deduped, misses fan out over ``--jobs`` processes, and
+results persist in a content-addressed cache (``--cache-dir``, disabled by
+``--no-cache``) so re-running a figure after a no-op change is near
+instant.
 """
 
 from __future__ import annotations
@@ -20,11 +26,12 @@ from typing import List, Optional
 from . import __version__
 from .compiler.config import CompilerConfig
 from .compiler.pipeline import FaultTolerantCompiler
-from .experiments import ALL_EXPERIMENTS
+from .experiments import ALL_EXPERIMENTS, collect_jobs
 from .ir import qasm
 from .ir.passes import optimize
 from .metrics.report import Table
 from .perf import BENCH_FILENAME
+from .sweep import CompileCache, SweepEngine, use_engine
 from .workloads import benchmark_names, load_benchmark
 
 
@@ -52,9 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--factories", "-f", type=int, default=1)
 
     exp_cmd = sub.add_parser("experiment", help="regenerate a paper figure")
-    exp_cmd.add_argument("figure", choices=sorted(ALL_EXPERIMENTS))
+    exp_cmd.add_argument("figure", choices=sorted(ALL_EXPERIMENTS) + ["all"],
+                        help="a figure/table id, or 'all' for the whole suite")
     exp_cmd.add_argument("--fast", action="store_true",
                          help="4x4 lattices instead of the paper's 10x10")
+    exp_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                         help="worker processes for the compile sweep")
+    exp_cmd.add_argument("--cache-dir", default=None,
+                         help="persistent result cache root "
+                              "(default $REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
+    exp_cmd.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent cache entirely")
 
     bench_perf = sub.add_parser(
         "bench", help="time end-to-end compilation over the workload suite"
@@ -65,10 +80,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="timing repetitions per case (best is kept)")
     bench_perf.add_argument("--workload", action="append", dest="workloads",
                             help="repeatable workload-name filter")
+    bench_perf.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes (fingerprints stay identical)")
+    bench_perf.add_argument("--cache-dir", default=None,
+                            help="resolve cases through a persistent sweep cache "
+                                 "(wall then measures resolution, not compilation)")
+    bench_perf.add_argument("--no-cache", action="store_true",
+                            help="ignore --cache-dir (pure compile timing)")
     bench_perf.add_argument("--output", "-o", default=None,
                             help=f"output JSON path (default {BENCH_FILENAME}; '-' to skip)")
     bench_perf.add_argument("--baseline", default=None,
-                            help="compare against a previous BENCH_*.json")
+                            help="compare against a previous BENCH_*.json "
+                                 "(exit 1 on behavioural drift)")
 
     sub.add_parser("list", help="list available benchmarks and experiments")
     return parser
@@ -112,27 +135,54 @@ def _cmd_benchmark(args) -> int:
     return 0
 
 
+def _print_tables(result) -> None:
+    tables = result if isinstance(result, (list, tuple)) else [result]
+    for table in tables:
+        print(table.to_text())
+
+
 def _cmd_experiment(args) -> int:
-    table = ALL_EXPERIMENTS[args.figure](args.fast)
-    print(table.to_text())
+    cache = None if args.no_cache else CompileCache(args.cache_dir)
+    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    names = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
+    with use_engine(engine):
+        engine.prefetch(collect_jobs(names, args.fast), progress=print)
+        for name in names:
+            if len(names) > 1:
+                print(f"=== {name} ===")
+            _print_tables(ALL_EXPERIMENTS[name](args.fast))
+            if len(names) > 1:
+                print()
+    print(f"[sweep] {engine.counters.describe()}")
     return 0
 
 
 def _cmd_bench(args) -> int:
     import json
 
-    from .perf import bench_cases, compare_reports, run_bench
+    from .perf import bench_cases, compare_reports, has_drift, run_bench
 
     if not bench_cases(args.fast, args.workloads):
         known = sorted({c.workload for c in bench_cases(args.fast)})
         print(f"error: no benchmark cases match --workload {args.workloads}")
         print(f"workloads in this matrix: {', '.join(known)}")
         return 2
+    baseline = None
+    if args.baseline:
+        # read before the run so --output may overwrite the baseline file
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
     report = run_bench(
         fast=args.fast,
         repeat=args.repeat,
         workloads=args.workloads,
         progress=print,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
     print()
     print(report.to_text())
@@ -140,16 +190,13 @@ def _cmd_bench(args) -> int:
     if output != "-":
         report.write(output)
         print(f"wrote {output}")
-    if args.baseline:
-        try:
-            with open(args.baseline) as handle:
-                baseline = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"error: cannot read baseline {args.baseline}: {exc}")
-            return 2
+    if baseline is not None:
         print()
         for line in compare_reports(baseline, report):
             print(line)
+        if has_drift(baseline, report):
+            print("error: behavioural fingerprint drift vs baseline")
+            return 1
     return 0
 
 

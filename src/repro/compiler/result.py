@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 from ..arch.layout import Layout
@@ -83,6 +83,59 @@ class CompilationResult:
         if self.unit_cost_time is None or self.lower_bound <= 0:
             return None
         return self.unit_cost_time / self.lower_bound
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Stable JSON-safe form (used by the sweep cache and worker IPC).
+
+        The layout is stored by its generating parameters, not cell-by-cell:
+        :func:`~repro.arch.layout.build_layout` is deterministic, so
+        ``(num_data, routing_paths)`` reconstructs the identical grid.
+        """
+        return {
+            "schedule": self.schedule.to_dict(),
+            "layout": {
+                "num_data": self.layout.num_data,
+                "routing_paths": self.layout.routing_paths,
+            },
+            "profile": asdict(self.profile),
+            "execution_time": self.execution_time,
+            "unit_cost_time": self.unit_cost_time,
+            "num_factories": self.num_factories,
+            "factory_area": self.factory_area,
+            "t_states": self.t_states,
+            "lower_bound": self.lower_bound,
+            "elimination": (
+                None if self.elimination is None else asdict(self.elimination)
+            ),
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompilationResult":
+        from ..arch.layout import build_layout
+
+        profile_data = dict(data["profile"])
+        profile_data["gate_counts"] = dict(profile_data["gate_counts"])
+        elimination = data.get("elimination")
+        return cls(
+            schedule=Schedule.from_dict(data["schedule"]),
+            layout=build_layout(
+                data["layout"]["num_data"], data["layout"]["routing_paths"]
+            ),
+            profile=CircuitProfile(**profile_data),
+            execution_time=data["execution_time"],
+            unit_cost_time=data.get("unit_cost_time"),
+            num_factories=data["num_factories"],
+            factory_area=data["factory_area"],
+            t_states=data["t_states"],
+            lower_bound=data["lower_bound"],
+            elimination=(
+                None if elimination is None else EliminationReport(**elimination)
+            ),
+            stats=dict(data.get("stats", {})),
+        )
 
     def summary(self) -> str:
         lines = [

@@ -1,4 +1,11 @@
-"""Experiment harness reproducing every table and figure of the paper."""
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each module exposes ``run(fast)`` plus a declarative ``jobs(fast)`` listing
+the compile points ``run`` will request.  ``collect_jobs`` gathers the
+grids of several figures so a sweep engine can dedupe the heavy overlap
+(fig9/fig11/fig12 share most of their points) and compile everything in
+parallel before the tables are assembled serially.
+"""
 
 from . import ablations, fig8, fig9, fig11, fig12, fig13, fig14, fig15, headline, table1
 from .runner import clear_cache, compile_ours
@@ -18,6 +25,31 @@ ALL_EXPERIMENTS = {
     "ablations": ablations.run,
 }
 
+#: experiment id -> callable(fast) returning its CompileJob grid.
+#: table1 is static (no compilations) and deliberately absent.
+EXPERIMENT_JOBS = {
+    "fig8": fig8.jobs,
+    "fig9": fig9.jobs,
+    "fig11": fig11.jobs,
+    "fig12": fig12.jobs,
+    "fig13": fig13.jobs,
+    "fig14": fig14.jobs,
+    "fig14d": fig14.distill_jobs,
+    "fig15": fig15.jobs,
+    "headline": headline.jobs,
+    "ablations": ablations.jobs,
+}
+
+
+def collect_jobs(names, fast: bool = True):
+    """Concatenated compile grids of ``names`` (planner dedupes later)."""
+    jobs = []
+    for name in names:
+        declare = EXPERIMENT_JOBS.get(name)
+        if declare is not None:
+            jobs.extend(declare(fast))
+    return jobs
+
 
 def run_all(fast: bool = True):
     """Run every experiment; returns {id: Table}."""
@@ -26,7 +58,9 @@ def run_all(fast: bool = True):
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "EXPERIMENT_JOBS",
     "clear_cache",
+    "collect_jobs",
     "compile_ours",
     "fig8",
     "fig9",

@@ -15,9 +15,9 @@ from typing import List
 
 from ..arch.factory import FactoryConfig
 from ..compiler.config import CompilerConfig
-from ..compiler.pipeline import FaultTolerantCompiler
 from ..metrics.report import Table
-from .runner import MODELS, lattice_side
+from ..sweep import CompileJob
+from .runner import MODELS, compile_config, lattice_side
 
 COLUMNS = ["model", "variant", "exec_time_d", "x_bound", "moves"]
 
@@ -37,6 +37,17 @@ def _variants():
     ]
 
 
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """Every (model, ablated-config) compile point."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for model in (models or list(MODELS)):
+        circuit = MODELS[model](side)
+        for _, config in _variants():
+            grid.append(CompileJob(circuit, config, tag="ablations"))
+    return grid
+
+
 def run(fast: bool = True, models: List[str] = None) -> Table:
     """Compile each model under every ablated configuration."""
     side = lattice_side(fast)
@@ -51,7 +62,7 @@ def run(fast: bool = True, models: List[str] = None) -> Table:
     for model in chosen:
         circuit = MODELS[model](side)
         for variant, config in _variants():
-            result = FaultTolerantCompiler(config).compile(circuit)
+            result = compile_config(circuit, config)
             table.add_row(
                 model=model,
                 variant=variant,

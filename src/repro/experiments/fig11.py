@@ -13,8 +13,9 @@ from typing import List
 
 from ..baselines.litinski import compact_block, evaluate_block, fast_block
 from ..metrics.report import Table
+from ..sweep import CompileJob
 from ..synthesis.ppr import transpile_to_ppr
-from .runner import MODELS, compile_ours
+from .runner import MODELS, compile_ours, config_for
 
 COLUMNS = [
     "model", "size", "scheme", "qubits", "exec_time_d", "time_vs_bound",
@@ -25,6 +26,17 @@ ROUTING_PATHS = [3, 4, 5, 6]
 
 def sizes(fast: bool) -> List[int]:
     return [2, 4] if fast else [2, 4, 6, 8, 10]
+
+
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    grid: List[CompileJob] = []
+    for model in (models or list(MODELS)):
+        for side in sizes(fast):
+            circuit = MODELS[model](side)
+            for r in ROUTING_PATHS:
+                grid.append(CompileJob(circuit, config_for(r, 1), tag="fig11"))
+    return grid
 
 
 def run(fast: bool = True, models: List[str] = None) -> Table:

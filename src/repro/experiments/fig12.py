@@ -13,8 +13,9 @@ from typing import List
 from ..arch.layout import max_routing_paths
 from ..baselines.litinski import compact_block, evaluate_block, fast_block
 from ..metrics.report import Table
+from ..sweep import CompileJob
 from ..synthesis.ppr import transpile_to_ppr
-from .runner import MODELS, compile_ours, lattice_side
+from .runner import MODELS, compile_ours, config_for, lattice_side
 
 COLUMNS = ["model", "scheme", "routing_paths", "qubits", "exec_time_d",
            "time_vs_bound"]
@@ -25,6 +26,17 @@ def r_values(side: int, fast: bool) -> List[int]:
     if fast:
         return [r for r in (2, 3, 4, 6, limit) if r <= limit]
     return list(range(2, limit + 1))
+
+
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for model in (models or ["ising", "fermi_hubbard"]):
+        circuit = MODELS[model](side)
+        for r in r_values(side, fast):
+            grid.append(CompileJob(circuit, config_for(r, 1), tag="fig12"))
+    return grid
 
 
 def run(fast: bool = True, models: List[str] = None) -> Table:

@@ -13,6 +13,7 @@ from ..baselines.lsqca import evaluate_line_sam
 from ..ir.circuit import Circuit
 from ..metrics.report import Table
 from ..metrics.spacetime import geometric_mean
+from ..sweep import CompileJob
 from ..workloads import (
     adder_n28,
     fermi_hubbard_2d,
@@ -21,7 +22,7 @@ from ..workloads import (
     ising_2d,
     multiplier_n15,
 )
-from .runner import compile_ours, lattice_side
+from .runner import compile_ours, config_for, lattice_side
 
 COLUMNS = [
     "benchmark", "scheme", "qubits", "exec_time_d", "cpi", "spacetime_volume",
@@ -41,6 +42,15 @@ def suite(fast: bool) -> List[Circuit]:
         circuits.append(ghz_qasmbench(255))
     circuits += [adder_n28(), multiplier_n15()]
     return circuits
+
+
+def jobs(fast: bool = True) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    return [
+        CompileJob(circuit, config_for(r, 1), tag="fig13")
+        for circuit in suite(fast)
+        for r in CANDIDATE_R
+    ]
 
 
 def best_ours(circuit: Circuit, num_factories: int = 1):

@@ -13,7 +13,8 @@ from typing import List
 
 from ..baselines.lsqca import evaluate_line_sam
 from ..metrics.report import Table
-from .runner import MODELS, compile_ours, lattice_side
+from ..sweep import CompileJob
+from .runner import MODELS, compile_ours, config_for, lattice_side
 
 CPI_COLUMNS = ["model", "factories", "scheme", "exec_time_d", "cpi"]
 DISTILL_COLUMNS = ["distill_time_d", "scheme", "exec_time_d", "cpi"]
@@ -23,6 +24,32 @@ DISTILL_TIMES = [11.0, 8.0, 5.0, 2.0]
 
 #: layout used for the CPI comparison (a resource-comparable choice).
 ROUTING_PATHS = 6
+
+
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """Compile grid of the (a-c) factory sweep."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for model in (models or list(MODELS)):
+        circuit = MODELS[model](side)
+        for nf in FACTORY_RANGE:
+            grid.append(
+                CompileJob(circuit, config_for(ROUTING_PATHS, nf), tag="fig14")
+            )
+    return grid
+
+
+def distill_jobs(fast: bool = True, model: str = "ising") -> List[CompileJob]:
+    """Compile grid of the (d) distillation-time sweep."""
+    circuit = MODELS[model](lattice_side(fast))
+    return [
+        CompileJob(
+            circuit,
+            config_for(ROUTING_PATHS, 1, distill_time=distill),
+            tag="fig14d",
+        )
+        for distill in DISTILL_TIMES
+    ]
 
 
 def run(fast: bool = True, models: List[str] = None) -> Table:

@@ -14,7 +14,8 @@ from typing import List
 
 from ..baselines.dascot import UNLIMITED, evaluate_dascot
 from ..metrics.report import Table
-from .runner import MODELS, compile_ours, lattice_side
+from ..sweep import CompileJob
+from .runner import MODELS, compile_ours, config_for, lattice_side
 
 COLUMNS = ["model", "scheme", "factories", "qubits", "exec_time_d",
            "spacetime_per_op"]
@@ -28,6 +29,26 @@ OURS_UNLIMITED_FACTORIES = 4
 OURS_UNLIMITED_DISTILL = 0.5
 
 ROUTING_PATHS = [3, 4, 6]
+
+
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for model in (models or ["fermi_hubbard", "ising"]):
+        circuit = MODELS[model](side)
+        for nf in FACTORY_POINTS:
+            for r in ROUTING_PATHS:
+                if nf == UNLIMITED:
+                    config = config_for(
+                        r,
+                        OURS_UNLIMITED_FACTORIES,
+                        distill_time=OURS_UNLIMITED_DISTILL,
+                    )
+                else:
+                    config = config_for(r, nf)
+                grid.append(CompileJob(circuit, config, tag="fig15"))
+    return grid
 
 
 def run(fast: bool = True, models: List[str] = None) -> Table:

@@ -8,9 +8,12 @@ for the condensed matter circuits, and 1.06x for the multiplier.
 
 from __future__ import annotations
 
+from typing import List
+
 from ..metrics.report import Table
+from ..sweep import CompileJob
 from ..workloads import adder_n28, multiplier_n15
-from .runner import MODELS, compile_ours, lattice_side
+from .runner import MODELS, compile_ours, config_for, lattice_side
 
 COLUMNS = [
     "benchmark",
@@ -24,11 +27,25 @@ COLUMNS = [
 ROUTING_PATHS = 4
 
 
+def _suite(side: int) -> List:
+    circuits = [builder(side) for builder in MODELS.values()]
+    circuits += [adder_n28(), multiplier_n15()]
+    return circuits
+
+
+def jobs(fast: bool = True) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    config = config_for(ROUTING_PATHS, 1, unit_cost=True)
+    return [
+        CompileJob(circuit, config, tag="fig8")
+        for circuit in _suite(lattice_side(fast))
+    ]
+
+
 def run(fast: bool = True) -> Table:
     """Reproduce the Fig. 8 bar chart as a table."""
     side = lattice_side(fast)
-    circuits = [builder(side) for builder in MODELS.values()]
-    circuits += [adder_n28(), multiplier_n15()]
+    circuits = _suite(side)
     table = Table(
         title=f"Figure 8 — time vs lower bound (r={ROUTING_PATHS}, 1 factory, "
         f"{side}x{side} lattices)",

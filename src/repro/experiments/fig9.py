@@ -12,10 +12,30 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..metrics.report import Table
-from .runner import MODELS, compile_ours, factory_sweep, lattice_side, routing_path_sweep
+from ..sweep import CompileJob
+from .runner import (
+    MODELS,
+    compile_ours,
+    config_for,
+    factory_sweep,
+    lattice_side,
+    routing_path_sweep,
+)
 
 COLUMNS = ["model", "routing_paths", "factories", "exec_time_d", "total_qubits",
            "spacetime_per_op"]
+
+
+def jobs(fast: bool = True, models: List[str] = None) -> List[CompileJob]:
+    """The figure's compile grid, declared for the sweep planner."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for model in (models or list(MODELS)):
+        circuit = MODELS[model](side)
+        for r in routing_path_sweep(fast):
+            for nf in factory_sweep(fast):
+                grid.append(CompileJob(circuit, config_for(r, nf), tag="fig9"))
+    return grid
 
 
 def run(fast: bool = True, models: List[str] = None) -> Table:

@@ -8,16 +8,30 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from ..baselines.dascot import evaluate_dascot
 from ..baselines.litinski import compact_block, evaluate_block, fast_block
 from ..baselines.lsqca import evaluate_line_sam
 from ..metrics.report import Table
 from ..metrics.spacetime import geometric_mean
-from .runner import MODELS, compile_ours, lattice_side
+from ..sweep import CompileJob
+from .runner import MODELS, compile_ours, config_for, lattice_side
 
 COLUMNS = ["claim", "paper", "measured"]
 
 BEST_R = [4, 5, 6]
+
+
+def jobs(fast: bool = True) -> List[CompileJob]:
+    """The aggregate's compile grid, declared for the sweep planner."""
+    side = lattice_side(fast)
+    grid: List[CompileJob] = []
+    for builder in MODELS.values():
+        circuit = builder(side)
+        for r in BEST_R:
+            grid.append(CompileJob(circuit, config_for(r, 1), tag="headline"))
+    return grid
 
 
 def run(fast: bool = True) -> Table:

@@ -1,27 +1,32 @@
 """Shared infrastructure for the per-figure experiment modules.
 
 Every experiment exposes ``run(fast: bool = True) -> Table`` (or a list of
-Tables).  ``fast=True`` shrinks lattice sizes / sweep ranges so the whole
-suite executes in seconds under pytest; ``fast=False`` reproduces the
-paper's full 10x10 configurations (used for EXPERIMENTS.md and the final
-bench run).
+Tables) plus ``jobs(fast) -> List[CompileJob]`` declaring the compile
+points its ``run`` will request.  ``fast=True`` shrinks lattice sizes /
+sweep ranges so the whole suite executes in seconds under pytest;
+``fast=False`` reproduces the paper's full 10x10 configurations (used for
+EXPERIMENTS.md and the final bench run).
 
-Compilation results are memoised per-process: several figures share the
-same (circuit, r, factories) points.
+Compilations go through a :class:`~repro.sweep.SweepEngine`: the one
+installed with :func:`repro.sweep.use_engine` (the CLI does this to add
+process fan-out and the persistent disk cache), else a private serial
+in-memory engine — so plain library calls and the test suite behave like
+the original per-process memo.  Several figures share the same
+(circuit, r, factories) points; the engine compiles each exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..compiler.config import CompilerConfig
-from ..compiler.pipeline import FaultTolerantCompiler
 from ..compiler.result import CompilationResult
 from ..ir.circuit import Circuit
+from ..sweep import SweepEngine, active_engine
 from ..workloads import fermi_hubbard_2d, heisenberg_2d, ising_2d
 
-#: process-wide cache: key -> CompilationResult.
-_CACHE: Dict[Tuple, CompilationResult] = {}
+#: fallback engine when none is installed: serial, memoised, no disk.
+_DEFAULT_ENGINE = SweepEngine()
 
 #: circuit factories by model name (used by most figures).
 MODELS = {
@@ -31,9 +36,40 @@ MODELS = {
 }
 
 
+def engine() -> SweepEngine:
+    """The engine experiment compilations resolve through."""
+    return active_engine() or _DEFAULT_ENGINE
+
+
 def lattice_side(fast: bool) -> int:
     """4x4 lattices in fast mode, the paper's 10x10 otherwise."""
     return 4 if fast else 10
+
+
+def config_for(
+    routing_paths: int,
+    num_factories: int = 1,
+    distill_time: Optional[float] = None,
+    unit_cost: bool = False,
+) -> CompilerConfig:
+    """The resolved config for one sweep point (shared by run() and jobs())."""
+    config = CompilerConfig(
+        routing_paths=routing_paths,
+        num_factories=num_factories,
+        compute_unit_cost_time=unit_cost,
+    )
+    if distill_time is not None:
+        config = config.with_(
+            instruction_set=config.instruction_set.with_distill_time(distill_time)
+        )
+    return config
+
+
+def compile_config(
+    circuit: Circuit, config: CompilerConfig, use_cache: bool = True
+) -> CompilationResult:
+    """Compile one fully specified point through the active engine."""
+    return engine().compile(circuit, config, use_cache=use_cache)
 
 
 def compile_ours(
@@ -45,34 +81,16 @@ def compile_ours(
     use_cache: bool = True,
 ) -> CompilationResult:
     """Compile with our compiler, memoised on the sweep parameters."""
-    key = (
-        circuit.name,
-        len(circuit),
-        routing_paths,
-        num_factories,
-        distill_time,
-        unit_cost,
-    )
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    config = CompilerConfig(
-        routing_paths=routing_paths,
-        num_factories=num_factories,
-        compute_unit_cost_time=unit_cost,
-    )
-    if distill_time is not None:
-        config = config.with_(
-            instruction_set=config.instruction_set.with_distill_time(distill_time)
-        )
-    result = FaultTolerantCompiler(config).compile(circuit)
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    config = config_for(routing_paths, num_factories, distill_time, unit_cost)
+    return compile_config(circuit, config, use_cache=use_cache)
 
 
 def clear_cache() -> None:
     """Drop memoised compilations (used between benchmark repetitions)."""
-    _CACHE.clear()
+    _DEFAULT_ENGINE.clear_memo()
+    installed = active_engine()
+    if installed is not None:
+        installed.clear_memo()
 
 
 def routing_path_sweep(fast: bool) -> list:

@@ -146,6 +146,10 @@ class Circuit:
         """Measure one qubit in the Z basis."""
         return self.append(g.measure(q))
 
+    def barrier(self, *qubits: int) -> "Circuit":
+        """Scheduling barrier over ``qubits`` (whole register when empty)."""
+        return self.append(g.barrier(*qubits))
+
     def measure_all(self) -> "Circuit":
         """Measure every qubit."""
         for q in range(self.num_qubits):

@@ -8,9 +8,10 @@ look-ahead and the critical-path depth used by the DASCOT baseline model.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .circuit import Circuit
 from .gates import BARRIER, Gate
@@ -24,6 +25,10 @@ class DagNode:
         index: position of the gate in the original circuit order.
         gate: the gate itself.
         predecessors / successors: node indices this gate depends on / feeds.
+        barrier_predecessors: the subset of ``predecessors`` induced by
+            barriers rather than shared wires.  The scheduler serialises a
+            node in *time* behind these (a wire edge is already enforced by
+            the qubit timeline; a barrier edge links disjoint qubits).
         layer: ASAP layer (0-based), filled by :class:`DagCircuit`.
     """
 
@@ -31,6 +36,7 @@ class DagNode:
     gate: Gate
     predecessors: Set[int] = field(default_factory=set)
     successors: Set[int] = field(default_factory=set)
+    barrier_predecessors: Set[int] = field(default_factory=set)
     layer: int = 0
 
     @property
@@ -52,12 +58,26 @@ class DagCircuit:
         # (node index, qubit) -> index of the next gate on that wire; lets
         # the scheduler's look-ahead query skip the successor-cone walk.
         self._next_on_wire: Dict[tuple, int] = {}
+        # qubit -> pending barrier frontier: node indices every future gate
+        # on that wire must wait for (consumed by the wire's next gate).
+        barrier_pred: Dict[int, Tuple[int, ...]] = {}
 
         for position, gate in enumerate(circuit):
             if gate.name == BARRIER:
                 # A barrier serialises; model it by a pseudo-dependency chain:
-                # remember the frontier and wire every future gate on these
-                # qubits behind the latest node seen so far.
+                # every future gate on the barrier's qubits depends on the
+                # latest gate seen on *any* of those qubits.  A barrier with
+                # no explicit qubits spans the whole register.
+                span = gate.qubits if gate.qubits else tuple(range(self.num_qubits))
+                frontier: Set[int] = set()
+                for q in span:
+                    prev = last_on_wire[q]
+                    if prev is not None:
+                        frontier.add(prev)
+                    # chain consecutive barriers with no gate in between
+                    frontier.update(barrier_pred.get(q, ()))
+                for q in span:
+                    barrier_pred[q] = tuple(sorted(frontier))
                 continue
             node = DagNode(index=len(self.nodes), gate=gate)
             for q in gate.qubits:
@@ -66,6 +86,11 @@ class DagCircuit:
                     node.predecessors.add(prev)
                     self.nodes[prev].successors.add(node.index)
                     self._next_on_wire[(prev, q)] = node.index
+                for pending in barrier_pred.pop(q, ()):
+                    if pending not in node.predecessors:
+                        node.predecessors.add(pending)
+                        node.barrier_predecessors.add(pending)
+                        self.nodes[pending].successors.add(node.index)
                 last_on_wire[q] = node.index
             self.nodes.append(node)
         self._compute_layers()
@@ -178,13 +203,32 @@ class ReadyFrontier:
     The scheduler repeatedly asks for gates whose predecessors have all
     completed, marks one complete, and continues.  This class maintains that
     frontier in O(E) total work.
+
+    With a ``priority`` callable the frontier also keeps a lazy min-heap of
+    ``(priority(node), node.index)`` entries so the scheduler's
+    earliest-start-first pick is O(log n) per gate instead of a full scan of
+    the ready set.  The laziness relies on priorities being monotone
+    non-decreasing over time for a given node (true for earliest feasible
+    start: resource-free times only ever move later): a popped entry whose
+    priority has grown stale is re-pushed with its current value, so
+    :meth:`pop_best` returns exactly the node a full
+    ``min(ready, key=(priority, index))`` scan would.
     """
 
-    def __init__(self, dag: DagCircuit) -> None:
+    def __init__(
+        self,
+        dag: DagCircuit,
+        priority: Optional[Callable[[DagNode], float]] = None,
+    ) -> None:
         self._dag = dag
         self._remaining = {n.index: len(n.predecessors) for n in dag.nodes}
         self._ready: Set[int] = {i for i, d in self._remaining.items() if d == 0}
         self._done: Set[int] = set()
+        self._priority = priority
+        self._heap: List[Tuple[float, int]] = []
+        if priority is not None:
+            for index in self._ready:
+                heapq.heappush(self._heap, (priority(dag.node(index)), index))
 
     def __len__(self) -> int:
         return len(self._dag) - len(self._done)
@@ -196,6 +240,29 @@ class ReadyFrontier:
     def ready_nodes(self) -> List[DagNode]:
         """Current frontier, in circuit order (deterministic)."""
         return [self._dag.node(i) for i in sorted(self._ready)]
+
+    def pop_best(self) -> DagNode:
+        """Lowest-(priority, index) ready node, via the lazy heap.
+
+        Requires a ``priority`` callable at construction.  The node stays in
+        the ready set until :meth:`complete` is called for it.
+        """
+        if self._priority is None:
+            raise RuntimeError("pop_best() needs a priority callable")
+        heap = self._heap
+        while heap:
+            pushed, index = heap[0]
+            if index not in self._ready:
+                heapq.heappop(heap)  # node already completed; drop the entry
+                continue
+            current = self._priority(self._dag.node(index))
+            if current > pushed:
+                # Stale: the node's earliest start moved later since the
+                # entry was pushed.  Reinsert at its current priority.
+                heapq.heapreplace(heap, (current, index))
+                continue
+            return self._dag.node(index)
+        raise RuntimeError("pop_best() on an empty frontier")
 
     def complete(self, index: int) -> List[DagNode]:
         """Mark node ``index`` finished; return nodes that just became ready."""
@@ -211,4 +278,7 @@ class ReadyFrontier:
             if self._remaining[succ] == 0:
                 self._ready.add(succ)
                 newly.append(self._dag.node(succ))
+        if self._priority is not None:
+            for node in newly:
+                heapq.heappush(self._heap, (self._priority(node), node.index))
         return newly

@@ -274,3 +274,8 @@ def swap(a: int, b: int) -> Gate:
 def measure(q: int) -> Gate:
     """Computational-basis measurement."""
     return Gate(MEASURE, (q,))
+
+
+def barrier(*qubits: int) -> Gate:
+    """Scheduling barrier across ``qubits`` (the whole register when empty)."""
+    return Gate(BARRIER, tuple(qubits))

@@ -6,6 +6,7 @@ from .bench import (
     BenchReport,
     bench_cases,
     compare_reports,
+    has_drift,
     run_bench,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "BenchReport",
     "bench_cases",
     "compare_reports",
+    "has_drift",
     "run_bench",
 ]

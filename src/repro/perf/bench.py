@@ -15,7 +15,17 @@ Usage::
     repro bench                 # full suite, writes BENCH_routing.json
     repro bench --fast          # smoke suite (seconds), for CI
     repro bench --repeat 3      # best-of-3 wall times
+    repro bench --jobs 4        # compile the matrix on 4 processes
+    repro bench --cache-dir DIR # resolve through the persistent sweep cache
     repro bench --baseline BENCH_routing.json   # compare against a file
+
+With ``--jobs`` the behavioural fingerprints are unchanged (results are
+bit-identical to serial compilation); per-case walls are then measured
+inside the workers and ``meta.sweep_wall`` records the actual elapsed time
+of the whole sweep.  With a cache, per-case wall becomes the time to
+*resolve* the case through the engine (near zero when warm), and
+``meta.cache`` records the hit/miss counters — the sweep-level speedup the
+trajectory is meant to capture.
 """
 
 from __future__ import annotations
@@ -23,12 +33,14 @@ from __future__ import annotations
 import json
 import platform
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..compiler.config import CompilerConfig
 from ..compiler.pipeline import FaultTolerantCompiler
+from ..sweep import CompileCache, CompileJob, SweepEngine
 from ..workloads import load_benchmark
 
 #: default output file, tracked over time as the perf trajectory.
@@ -36,7 +48,11 @@ BENCH_FILENAME = "BENCH_routing.json"
 
 #: (workload, routing_paths, num_factories) matrix for the full suite —
 #: the fig9 sweep shape (r x factories) plus fig11-style r variation.
+#: A superset of the fast matrix, so a full baseline can gate fast CI runs.
 _FULL_MATRIX = [
+    ("ising_2d_2x2", 3, 1),
+    ("heisenberg_2d_2x2", 3, 1),
+    ("fermi_hubbard_2d_2x2", 4, 1),
     ("ising_2d_4x4", 3, 1),
     ("ising_2d_4x4", 4, 2),
     ("ising_2d_4x4", 6, 4),
@@ -119,21 +135,15 @@ def bench_cases(fast: bool = False, workloads: Optional[List[str]] = None) -> Li
     return cases
 
 
-def _run_case(case: BenchCase, repeat: int) -> dict:
-    circuit = load_benchmark(case.workload)
-    config = CompilerConfig(
+def _case_config(case: BenchCase) -> CompilerConfig:
+    return CompilerConfig(
         routing_paths=case.routing_paths, num_factories=case.num_factories
     )
-    compiler = FaultTolerantCompiler(config)
-    best = None
-    result = None
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
-        result = compiler.compile(circuit)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
+
+
+def _row_from_result(result, wall: float) -> dict:
     return {
-        "wall": round(best, 4),
+        "wall": round(wall, 4),
         "makespan": result.schedule.makespan,
         "num_ops": len(result.schedule),
         "num_moves": result.schedule.num_moves,
@@ -142,11 +152,32 @@ def _run_case(case: BenchCase, repeat: int) -> dict:
     }
 
 
+def _run_case(case: BenchCase, repeat: int) -> dict:
+    circuit = load_benchmark(case.workload)
+    compiler = FaultTolerantCompiler(_case_config(case))
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = compiler.compile(circuit)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return _row_from_result(result, best)
+
+
+def _run_case_payload(payload: Tuple[BenchCase, int]) -> dict:
+    """Worker entry point for ``--jobs``: one timed case per process."""
+    case, repeat = payload
+    return _run_case(case, repeat)
+
+
 def run_bench(
     fast: bool = False,
     repeat: int = 1,
     workloads: Optional[List[str]] = None,
     progress=None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> BenchReport:
     """Compile the suite, timing each case (best-of-``repeat``).
 
@@ -156,22 +187,86 @@ def run_bench(
             (behavioural outputs are deterministic across repetitions).
         workloads: optional workload-name filter.
         progress: optional callable invoked with a line per finished case.
+        jobs: worker processes; behavioural outputs stay bit-identical, and
+            ``meta.sweep_wall`` records the true elapsed time of the sweep.
+        cache_dir: resolve cases through a persistent
+            :class:`~repro.sweep.CompileCache` rooted here; per-case wall is
+            then the resolution time (near zero when warm) and ``meta.cache``
+            carries the hit/miss counters.
     """
+    jobs = max(1, jobs)
     report = BenchReport(
         meta={
             "version": __version__,
             "python": platform.python_version(),
             "mode": "fast" if fast else "full",
             "repeat": max(1, repeat),
+            "jobs": jobs,
         }
     )
-    for case in bench_cases(fast, workloads):
-        row = _run_case(case, repeat)
-        report.cases[case.key] = row
-        report.total_wall += row["wall"]
-        if progress is not None:
-            progress(f"{case.key}: {row['wall']:.3f}s makespan={row['makespan']}")
+    cases = bench_cases(fast, workloads)
+    sweep_start = time.perf_counter()
+    if cache_dir is not None:
+        # cache resolution is single-shot, so label the walls honestly
+        report.meta["repeat"] = 1
+        engine = SweepEngine(jobs=jobs, cache=CompileCache(cache_dir))
+        circuits = {c.workload: load_benchmark(c.workload) for c in cases}
+        if jobs > 1:
+            engine.prefetch(
+                [
+                    CompileJob(circuits[c.workload], _case_config(c), tag="bench")
+                    for c in cases
+                ]
+            )
+
+        def timed_resolution(case: BenchCase) -> dict:
+            start = time.perf_counter()
+            result = engine.compile(circuits[case.workload], _case_config(case))
+            return _row_from_result(result, time.perf_counter() - start)
+
+        rows = map(timed_resolution, cases)
+    elif jobs > 1:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(cases) or 1))
+        rows = pool.map(_run_case_payload, [(c, repeat) for c in cases])
+    else:
+        pool = None
+        rows = (_run_case(case, repeat) for case in cases)
+    try:
+        for case, row in zip(cases, rows):
+            report.cases[case.key] = row
+            report.total_wall += row["wall"]
+            if progress is not None:
+                progress(f"{case.key}: {row['wall']:.3f}s makespan={row['makespan']}")
+    finally:
+        if cache_dir is not None:
+            report.meta["cache"] = engine.counters.as_dict()
+        elif jobs > 1:
+            pool.shutdown()
+    report.meta["sweep_wall"] = round(time.perf_counter() - sweep_start, 4)
     return report
+
+
+#: per-case fields that make up the behavioural fingerprint (shared by
+#: has_drift and compare_reports so the gate and the report never diverge).
+_FINGERPRINT_FIELDS = ("makespan", "num_ops", "num_moves", "stats")
+
+
+def has_drift(baseline: dict, current: BenchReport) -> bool:
+    """True when any shared case's behavioural fingerprint changed.
+
+    Cases missing from the baseline are not drift (the matrix may grow);
+    only a changed fingerprint field on a case both runs share counts.
+    CI gates on this.
+    """
+    base_cases = baseline.get("cases", {})
+    for key, row in current.cases.items():
+        base = base_cases.get(key)
+        if base is None:
+            continue
+        for field_name in _FINGERPRINT_FIELDS:
+            if base.get(field_name) != row.get(field_name):
+                return True
+    return False
 
 
 def compare_reports(baseline: dict, current: BenchReport) -> List[str]:
@@ -189,7 +284,7 @@ def compare_reports(baseline: dict, current: BenchReport) -> List[str]:
         if base is None:
             lines.append(f"{key}: no baseline entry")
             continue
-        for field_name in ("makespan", "num_ops", "num_moves", "stats"):
+        for field_name in _FINGERPRINT_FIELDS:
             if base.get(field_name) != row.get(field_name):
                 drift = True
                 lines.append(
@@ -198,6 +293,15 @@ def compare_reports(baseline: dict, current: BenchReport) -> List[str]:
                 )
         if base.get("wall") and row.get("wall"):
             lines.append(f"{key}: {base['wall'] / row['wall']:.2f}x vs baseline")
+    unexercised = sorted(set(base_cases) - set(current.cases))
+    if unexercised:
+        # not drift (fast runs exercise a subset of a full baseline), but a
+        # silently shrinking matrix should at least be visible
+        lines.append(
+            f"note: {len(unexercised)} baseline case(s) not exercised in "
+            f"this run: {', '.join(unexercised[:5])}"
+            + ("..." if len(unexercised) > 5 else "")
+        )
     base_total = baseline.get("total_wall")
     if base_total and current.total_wall:
         lines.append(

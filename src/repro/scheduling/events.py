@@ -66,6 +66,36 @@ class ScheduledOp:
             note=self.note,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation; :meth:`from_dict` restores it exactly."""
+        return {
+            "uid": self.uid,
+            "kind": self.kind,
+            "name": self.name,
+            "qubits": list(self.qubits),
+            "cells": [list(c) for c in self.cells],
+            "start": self.start,
+            "duration": self.duration,
+            "min_start": self.min_start,
+            "gate_index": self.gate_index,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScheduledOp":
+        return cls(
+            uid=data["uid"],
+            kind=data["kind"],
+            name=data["name"],
+            qubits=tuple(data["qubits"]),
+            cells=tuple(tuple(c) for c in data["cells"]),
+            start=data["start"],
+            duration=data["duration"],
+            min_start=data.get("min_start", 0.0),
+            gate_index=data.get("gate_index"),
+            note=data.get("note", ""),
+        )
+
     def __str__(self) -> str:
         qubits = ",".join(map(str, self.qubits))
         return f"[{self.start:7.1f} +{self.duration:4.1f}] {self.name:6s} q({qubits})"
@@ -127,6 +157,14 @@ class Schedule:
                         f"qubit {q} double-booked at t={op.start}: {op}"
                     )
                 last_end[q] = max(last_end.get(q, 0.0), op.end)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the sweep cache's on-disk form)."""
+        return {"ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        return cls(ops=[ScheduledOp.from_dict(op) for op in data["ops"]])
 
     def timeline_text(self, limit: int = 40) -> str:
         """Human-readable dump of the first ``limit`` ops."""

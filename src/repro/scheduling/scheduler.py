@@ -116,10 +116,14 @@ class LatticeSurgeryScheduler:
         """Schedule ``circuit`` with program qubits initially at ``placement``."""
         self._reset(placement)
         dag = DagCircuit(circuit)
-        frontier = ReadyFrontier(dag)
+        # Earliest-start-first among ready gates, circuit order as tiebreak.
+        # The frontier's lazy heap makes the pick O(log n) per gate; it is
+        # exact because a gate's earliest feasible start only moves later as
+        # other gates occupy its qubits.
+        frontier = ReadyFrontier(dag, priority=self._earliest_start)
         self._dag = dag
         while not frontier.exhausted:
-            node = self._pick(frontier.ready_nodes())
+            node = frontier.pop_best()
             self._schedule_node(node)
             frontier.complete(node.index)
         return self._schedule
@@ -144,15 +148,13 @@ class LatticeSurgeryScheduler:
         self._home = dict(placement)
         self._schedule = Schedule()
         self._uid = 0
+        self._node_end = {}
+        self._barrier_floor = 0.0
         self.stats = SchedulerStats()
 
-    def _pick(self, ready: List[DagNode]) -> DagNode:
-        """Earliest-start-first among ready gates, circuit order as tiebreak."""
-        def key(node: DagNode) -> Tuple[float, int]:
-            est = max((self._qubit_free.get(q, 0.0) for q in node.qubits), default=0.0)
-            return (est, node.index)
-
-        return min(ready, key=key)
+    def _earliest_start(self, node: DagNode) -> float:
+        """Earliest feasible start: when every operand qubit falls free."""
+        return max((self._qubit_free.get(q, 0.0) for q in node.qubits), default=0.0)
 
     def _record(
         self,
@@ -166,6 +168,12 @@ class LatticeSurgeryScheduler:
         gate_index: Optional[int] = None,
         note: str = "",
     ) -> ScheduledOp:
+        # A pending barrier floor rides along as min_start so the Sec. V-D
+        # re-timing pass cannot pull the op back across the barrier.
+        if self._barrier_floor > min_start:
+            min_start = self._barrier_floor
+        if start < min_start:
+            start = min_start
         op = ScheduledOp(
             uid=self._uid,
             kind=kind,
@@ -181,6 +189,8 @@ class LatticeSurgeryScheduler:
         self._uid += 1
         self._schedule.append(op)
         end = op.end
+        if gate_index is not None and end > self._node_end.get(gate_index, 0.0):
+            self._node_end[gate_index] = end
         qubit_free = self._qubit_free
         for q in qubits:
             if end > qubit_free.get(q, 0.0):
@@ -280,6 +290,20 @@ class LatticeSurgeryScheduler:
         name = gate.name
         if name in (g.BARRIER,):
             return
+        # Barrier edges link gates on *disjoint* qubits, so the qubit
+        # timelines alone cannot serialise them: raise the operands' free
+        # times to the barrier predecessors' completion and remember the
+        # floor (it becomes min_start for every op this node records).
+        floor = 0.0
+        for pred in node.barrier_predecessors:
+            end = self._node_end.get(pred, 0.0)
+            if end > floor:
+                floor = end
+        self._barrier_floor = floor
+        if floor > 0.0:
+            for q in gate.qubits:
+                if floor > self._qubit_free.get(q, 0.0):
+                    self._qubit_free[q] = floor
         if gate.is_pauli:
             start = max(self._qubit_free.get(q, 0.0) for q in gate.qubits)
             self._record("gate", name, gate.qubits, (), start, self.isa.pauli,

@@ -1,0 +1,37 @@
+"""Parallel sweep engine: declarative compile-job grids, a dedupe planner,
+a process-pool executor and a persistent content-addressed result cache."""
+
+from .cache import CACHE_DIR_ENV, CompileCache, default_cache_dir
+from .executor import (
+    SweepCounters,
+    SweepEngine,
+    active_engine,
+    use_engine,
+)
+from .jobs import (
+    CACHE_SCHEMA,
+    CompileJob,
+    circuit_fingerprint,
+    compiler_revision,
+    config_fingerprint,
+    job_key,
+)
+from .planner import SweepPlan, plan_jobs
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CompileCache",
+    "CompileJob",
+    "SweepCounters",
+    "SweepEngine",
+    "SweepPlan",
+    "active_engine",
+    "circuit_fingerprint",
+    "compiler_revision",
+    "config_fingerprint",
+    "default_cache_dir",
+    "job_key",
+    "plan_jobs",
+    "use_engine",
+]

@@ -1,0 +1,91 @@
+"""Persistent, content-addressed store of compilation results.
+
+Each entry is one JSON file named by its job key (see
+:mod:`repro.sweep.jobs`): ``<cache_dir>/<key[:2]>/<key>.json``.  Because
+the key already covers the circuit, the full compiler config and the
+serialization schema, invalidation is automatic — any change to the input
+or the format simply addresses a different file.  Deleting the directory
+(or passing ``--no-cache``) is always safe.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or parallel
+run can never leave a torn entry; unreadable or corrupt entries are treated
+as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from ..compiler.result import CompilationResult
+
+#: environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/sweep``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweep"
+
+
+class CompileCache:
+    """On-disk result store with hit/miss accounting.
+
+    Attributes:
+        hits / misses / stores: counters since construction (misses count
+            only failed lookups, not stores).
+    """
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+        self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CompilationResult]:
+        """The cached result for ``key``, or None (corrupt files miss too)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            result = CompilationResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: CompilationResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,190 @@
+"""Parallel sweep execution with memoisation and the persistent cache.
+
+:class:`SweepEngine` is the single entry point the experiment layer
+compiles through.  Resolution order for every job:
+
+1. **memo** — results already materialised in this process;
+2. **disk** — the content-addressed :class:`~repro.sweep.cache.CompileCache`;
+3. **compile** — in-process for single jobs, or fanned out over a
+   ``ProcessPoolExecutor`` by :meth:`SweepEngine.prefetch`.
+
+Workers ship results back as their stable ``to_dict`` form (the same bytes
+the cache persists), so a result is identical whether it was computed
+serially, in a worker, or read back from disk — parallel and cached runs
+are bit-identical to serial ones.
+
+The engine is installed per run with :func:`use_engine`;
+``experiments.runner`` falls back to a private serial engine when none is
+active, which keeps plain library calls (and the test suite) free of disk
+and process-pool side effects.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import FaultTolerantCompiler
+from ..compiler.result import CompilationResult
+from ..ir.circuit import Circuit
+from .cache import CompileCache
+from .jobs import CompileJob, job_key
+from .planner import plan_jobs
+
+
+@dataclass
+class SweepCounters:
+    """Where every requested compilation was resolved from."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    compiled: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.memo_hits + self.disk_hits + self.compiled
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "compiled": self.compiled,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests} compile requests: {self.compiled} compiled, "
+            f"{self.disk_hits} disk hits, {self.memo_hits} memo hits"
+        )
+
+
+def _compile_payload(payload: Tuple[Circuit, CompilerConfig]) -> dict:
+    """Worker entry point: compile one job, return the serialized result."""
+    circuit, config = payload
+    return FaultTolerantCompiler(config).compile(circuit).to_dict()
+
+
+class SweepEngine:
+    """Executes compile jobs with dedupe, caching and process fan-out.
+
+    Args:
+        jobs: worker processes for :meth:`prefetch` (1 = fully serial).
+        cache: optional persistent store; None keeps everything in-memory.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[CompileCache] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.counters = SweepCounters()
+        self._memo: Dict[str, CompilationResult] = {}
+
+    # -- single-point API ---------------------------------------------------
+
+    def compile(
+        self,
+        circuit: Circuit,
+        config: CompilerConfig,
+        use_cache: bool = True,
+    ) -> CompilationResult:
+        """Resolve one compile point (memo -> disk -> in-process compile)."""
+        if not use_cache:
+            self.counters.compiled += 1
+            return FaultTolerantCompiler(config).compile(circuit)
+        key = job_key(circuit, config)
+        hit = self._lookup(key)
+        if hit is not None:
+            return hit
+        result = FaultTolerantCompiler(config).compile(circuit)
+        self.counters.compiled += 1
+        self._remember(key, result)
+        return result
+
+    def _lookup(self, key: str) -> Optional[CompilationResult]:
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.counters.memo_hits += 1
+            return memo
+        if self.cache is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                self.counters.disk_hits += 1
+                self._memo[key] = cached
+                return cached
+        return None
+
+    def _remember(self, key: str, result: CompilationResult) -> None:
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.store(key, result)
+
+    def clear_memo(self) -> None:
+        """Drop in-process results (the disk cache is untouched)."""
+        self._memo.clear()
+
+    # -- batch API ----------------------------------------------------------
+
+    def prefetch(self, jobs: Sequence[CompileJob], progress=None) -> None:
+        """Materialise every job into the memo, compiling misses in parallel.
+
+        Jobs are deduped first; misses are dispatched to a process pool in
+        plan order and collected in the same order, so the memo's contents
+        never depend on worker timing.  After ``prefetch`` returns, table
+        construction hits the memo only and stays deterministic.
+        """
+        plan = plan_jobs(jobs)
+        missing: List[CompileJob] = []
+        for job in plan.unique:
+            if self._lookup(job.key) is None:
+                missing.append(job)
+        if progress is not None and plan.requested:
+            progress(
+                f"{plan.describe()}; {len(missing)} to compile "
+                f"({self.counters.disk_hits} already cached)"
+            )
+        if not missing:
+            return
+        if self.jobs == 1 or len(missing) == 1:
+            for job in missing:
+                result = FaultTolerantCompiler(job.config).compile(job.circuit)
+                self.counters.compiled += 1
+                self._remember(job.key, result)
+                if progress is not None:
+                    progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
+            return
+        workers = min(self.jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_compile_payload, (job.circuit, job.config))
+                for job in missing
+            ]
+            for job, future in zip(missing, futures):
+                result = CompilationResult.from_dict(future.result())
+                self.counters.compiled += 1
+                self._remember(job.key, result)
+                if progress is not None:
+                    progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
+
+
+# -- active engine ------------------------------------------------------------
+
+_ACTIVE: Optional[SweepEngine] = None
+
+
+def active_engine() -> Optional[SweepEngine]:
+    """The engine installed by :func:`use_engine`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_engine(engine: SweepEngine) -> Iterator[SweepEngine]:
+    """Route ``experiments.runner`` compilations through ``engine``."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = engine
+    try:
+        yield engine
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,59 @@
+"""Sweep planning: collapse overlapping figure grids into unique jobs.
+
+The paper figures re-visit the same (model, r, factories) points over and
+over — fig9's full grid contains most of fig11's and fig12's r sweeps, the
+headline aggregates re-use fig13's candidate layouts, and so on.  Running
+each figure naively repays every shared compilation.  ``plan_jobs`` keeps
+the first occurrence of every distinct job key, so a multi-figure run
+compiles each point exactly once no matter how many figures request it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .jobs import CompileJob
+
+
+@dataclass
+class SweepPlan:
+    """Deduplicated execution plan for a batch of requested jobs.
+
+    Attributes:
+        unique: first occurrence of each distinct job, in request order
+            (deterministic — the executor and any progress output follow it).
+        requested: total number of jobs handed to the planner.
+        duplicates_by_key: key -> number of extra requests folded away.
+    """
+
+    unique: List[CompileJob] = field(default_factory=list)
+    requested: int = 0
+    duplicates_by_key: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duplicates(self) -> int:
+        """Compilations avoided by dedupe."""
+        return self.requested - len(self.unique)
+
+    def describe(self) -> str:
+        return (
+            f"sweep plan: {self.requested} requested points -> "
+            f"{len(self.unique)} unique compilations "
+            f"({self.duplicates} shared across figures)"
+        )
+
+
+def plan_jobs(jobs: Iterable[CompileJob]) -> SweepPlan:
+    """Dedupe ``jobs`` by content key, preserving first-seen order."""
+    plan = SweepPlan()
+    seen: Dict[str, int] = {}
+    for job in jobs:
+        plan.requested += 1
+        key = job.key
+        if key in seen:
+            plan.duplicates_by_key[key] = plan.duplicates_by_key.get(key, 0) + 1
+            continue
+        seen[key] = len(plan.unique)
+        plan.unique.append(job)
+    return plan

@@ -50,6 +50,72 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
 
+    def test_parallel_cached_run_then_warm_rerun(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["experiment", "fig12", "--fast", "--jobs", "2",
+                "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 12" in cold
+        # warm rerun: every point resolves from disk, zero compilations
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 compiled" in warm.rsplit("[sweep]", 1)[1]
+        rows = lambda out: [l for l in out.splitlines() if "ours-r" in l]
+        assert rows(warm) == rows(cold)
+        assert rows(cold)  # the table actually has sweep rows
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["experiment", "table1", "--fast", "--no-cache"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_jobs_flag_keeps_fingerprints(self, tmp_path, capsys):
+        out_path = str(tmp_path / "base.json")
+        assert main(["bench", "--fast", "--workload", "ising_2d_2x2",
+                     "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--fast", "--workload", "ising_2d_2x2",
+                     "--jobs", "2", "-o", "-", "--baseline", out_path]) == 0
+        assert "behaviour: identical to baseline" in capsys.readouterr().out
+
+    def test_baseline_drift_fails(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "base.json"
+        assert main(["bench", "--fast", "--workload", "ising_2d_2x2",
+                     "-o", str(out_path)]) == 0
+        baseline = json.loads(out_path.read_text())
+        for row in baseline["cases"].values():
+            row["makespan"] += 1.0
+        out_path.write_text(json.dumps(baseline))
+        capsys.readouterr()
+        assert main(["bench", "--fast", "--workload", "ising_2d_2x2",
+                     "-o", "-", "--baseline", str(out_path)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_cache_dir_records_counters(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        out_path = tmp_path / "bench.json"
+        argv = ["bench", "--fast", "--workload", "ising_2d_2x2",
+                "--cache-dir", cache, "-o", str(out_path)]
+        assert main(argv) == 0
+        cold = json.loads(out_path.read_text())
+        assert cold["meta"]["cache"]["compiled"] == 1
+        assert main(argv) == 0
+        warm = json.loads(out_path.read_text())
+        assert warm["meta"]["cache"] == {
+            "memo_hits": 0, "disk_hits": 1, "compiled": 0,
+        }
+        assert warm["cases"] == dict(
+            cold["cases"],
+            **{k: dict(v, wall=warm["cases"][k]["wall"])
+               for k, v in cold["cases"].items()},
+        )
+
 
 class TestMisc:
     def test_version_flag(self, capsys):

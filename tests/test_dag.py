@@ -111,3 +111,96 @@ class TestReadyFrontier:
             seen.append(node.index)
             frontier.complete(node.index)
         assert seen == [0, 1, 2, 3]
+
+
+class TestBarrier:
+    def test_barrier_orders_independent_gates(self):
+        # without the barrier, h(0) and h(1) are independent roots
+        free = DagCircuit(Circuit(2).h(0).h(1))
+        assert len(free.roots()) == 2
+        # the barrier serialises them: h(1) must wait for h(0)
+        dag = DagCircuit(Circuit(2).h(0).barrier(0, 1).h(1))
+        assert len(dag) == 2  # barriers are not nodes
+        assert dag.node(1).predecessors == {0}
+        assert dag.node(0).successors == {1}
+        assert dag.depth() == 2
+
+    def test_empty_barrier_spans_whole_register(self):
+        dag = DagCircuit(Circuit(3).h(0).barrier().h(2))
+        assert dag.node(1).predecessors == {0}
+
+    def test_barrier_only_orders_its_own_qubits(self):
+        qc = Circuit(3).h(0).barrier(0, 1).h(1).h(2)
+        dag = DagCircuit(qc)
+        assert dag.node(1).predecessors == {0}  # h(1) behind the barrier
+        assert dag.node(2).predecessors == set()  # q2 untouched
+
+    def test_consecutive_barriers_chain(self):
+        qc = Circuit(3).h(0).barrier(0, 1).barrier(1, 2).h(2)
+        dag = DagCircuit(qc)
+        # h(2) sits behind the second barrier, which inherited the first
+        # barrier's frontier through the shared qubit 1.
+        assert dag.node(1).predecessors == {0}
+
+    def test_barrier_in_scheduled_circuit_orders_execution(self):
+        from repro.compiler.pipeline import compile_circuit
+
+        qc = Circuit(2, name="barrier_demo").h(0).barrier(0, 1).h(1)
+        schedule = compile_circuit(qc, routing_paths=3).schedule
+        gates = [op for op in schedule if op.kind == "gate" and op.name == "h"]
+        assert len(gates) == 2
+        first = next(op for op in gates if op.qubits == (0,))
+        second = next(op for op in gates if op.qubits == (1,))
+        assert second.start >= first.end
+
+    def test_barrier_free_circuits_unchanged(self):
+        plain = DagCircuit(ladder())
+        assert [sorted(n.predecessors) for n in plain.nodes] == [[], [0], [1], [2]]
+
+
+class TestLazyHeapFrontier:
+    def test_pop_best_needs_priority(self):
+        frontier = ReadyFrontier(DagCircuit(ladder()))
+        with pytest.raises(RuntimeError):
+            frontier.pop_best()
+
+    def test_pop_best_matches_full_scan(self):
+        # Simulated scheduling: priorities are "earliest start by qubit
+        # availability" and only ever grow, exactly like the scheduler.
+        import random
+
+        rng = random.Random(11)
+        for trial in range(30):
+            num_qubits = rng.randint(2, 6)
+            qc = Circuit(num_qubits)
+            for _ in range(rng.randint(5, 40)):
+                if num_qubits >= 2 and rng.random() < 0.4:
+                    a, b = rng.sample(range(num_qubits), 2)
+                    qc.cx(a, b)
+                else:
+                    qc.h(rng.randrange(num_qubits))
+            dag = DagCircuit(qc)
+
+            def run(pick):
+                free = {q: 0.0 for q in range(num_qubits)}
+
+                def est(node):
+                    return max((free[q] for q in node.qubits), default=0.0)
+
+                frontier = ReadyFrontier(dag, priority=est)
+                order = []
+                bump = random.Random(trial)  # same bumps for both runs
+                while not frontier.exhausted:
+                    node = pick(frontier, est)
+                    order.append(node.index)
+                    end = est(node) + bump.choice([1.0, 2.0, 3.0])
+                    for q in node.qubits:
+                        free[q] = max(free[q], end)
+                    frontier.complete(node.index)
+                return order
+
+            heap_order = run(lambda f, est: f.pop_best())
+            scan_order = run(
+                lambda f, est: min(f.ready_nodes(), key=lambda n: (est(n), n.index))
+            )
+            assert heap_order == scan_order
