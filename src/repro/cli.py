@@ -32,6 +32,7 @@ from .ir.passes import optimize
 from .metrics.report import Table
 from .perf import BENCH_FILENAME
 from .sweep import CompileCache, SweepEngine, use_engine
+from .verify import ValidationError
 from .workloads import benchmark_names, load_benchmark
 
 
@@ -51,6 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="also compute the unit-cost time")
     compile_cmd.add_argument("--optimize", action="store_true",
                              help="run the front-end cleanup passes first")
+    compile_cmd.add_argument("--validate", action="store_true",
+                             help="replay-validate the compiled schedule "
+                                  "(exit 1 on any violation)")
 
     bench_cmd = sub.add_parser("benchmark", help="compile a named benchmark")
     bench_cmd.add_argument("name", help="e.g. ising_2d_4x4 (see `repro list`)")
@@ -70,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default $REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
     exp_cmd.add_argument("--no-cache", action="store_true",
                          help="skip the persistent cache entirely")
+    exp_cmd.add_argument("--validate", action="store_true",
+                         help="replay-validate every compiled (or cached) "
+                              "schedule; exit 1 on any violation")
 
     bench_perf = sub.add_parser(
         "bench", help="time end-to-end compilation over the workload suite"
@@ -92,6 +99,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--baseline", default=None,
                             help="compare against a previous BENCH_*.json "
                                  "(exit 1 on behavioural drift)")
+    bench_perf.add_argument("--validate", action="store_true",
+                            help="replay-validate every case's schedule "
+                                 "outside the timed region")
 
     sub.add_parser("list", help="list available benchmarks and experiments")
     return parser
@@ -108,8 +118,14 @@ def _cmd_compile(args) -> int:
         num_factories=args.factories,
         compute_unit_cost_time=args.unit_cost,
     )
-    result = FaultTolerantCompiler(config).compile(circuit)
+    try:
+        result = FaultTolerantCompiler(config).compile(circuit, validate=args.validate)
+    except ValidationError as exc:
+        print(exc.report.summary())
+        return 1
     print(result.summary())
+    if args.validate:
+        print("schedule validity   : OK (replay-validated)")
     return 0
 
 
@@ -143,17 +159,24 @@ def _print_tables(result) -> None:
 
 def _cmd_experiment(args) -> int:
     cache = None if args.no_cache else CompileCache(args.cache_dir)
-    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    engine = SweepEngine(jobs=args.jobs, cache=cache, validate=args.validate)
     names = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
-    with use_engine(engine):
-        engine.prefetch(collect_jobs(names, args.fast), progress=print)
-        for name in names:
-            if len(names) > 1:
-                print(f"=== {name} ===")
-            _print_tables(ALL_EXPERIMENTS[name](args.fast))
-            if len(names) > 1:
-                print()
+    try:
+        with use_engine(engine):
+            engine.prefetch(collect_jobs(names, args.fast), progress=print)
+            for name in names:
+                if len(names) > 1:
+                    print(f"=== {name} ===")
+                _print_tables(ALL_EXPERIMENTS[name](args.fast))
+                if len(names) > 1:
+                    print()
+    except ValidationError as exc:
+        print(exc.report.summary())
+        print("error: schedule failed replay validation")
+        return 1
     print(f"[sweep] {engine.counters.describe()}")
+    if args.validate:
+        print(f"[verify] {len(engine.validated_keys)} schedule(s) replay-validated, 0 violations")
     return 0
 
 
@@ -176,16 +199,24 @@ def _cmd_bench(args) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: cannot read baseline {args.baseline}: {exc}")
             return 2
-    report = run_bench(
-        fast=args.fast,
-        repeat=args.repeat,
-        workloads=args.workloads,
-        progress=print,
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
+    try:
+        report = run_bench(
+            fast=args.fast,
+            repeat=args.repeat,
+            workloads=args.workloads,
+            progress=print,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            validate=args.validate,
+        )
+    except ValidationError as exc:
+        print(exc.report.summary())
+        print("error: schedule failed replay validation")
+        return 1
     print()
     print(report.to_text())
+    if args.validate:
+        print(f"[verify] {len(report.cases)} case schedule(s) replay-validated, 0 violations")
     output = args.output if args.output is not None else BENCH_FILENAME
     if output != "-":
         report.write(output)

@@ -38,14 +38,28 @@ class FaultTolerantCompiler:
         """Mapping stage, part 1: construct the Fig. 3 layout."""
         return build_layout(circuit.num_qubits, self.config.routing_paths)
 
-    def compile(self, circuit: Circuit, layout: Optional[Layout] = None) -> CompilationResult:
+    def compile(
+        self,
+        circuit: Circuit,
+        layout: Optional[Layout] = None,
+        validate: bool = False,
+    ) -> CompilationResult:
         """Compile ``circuit`` and return metrics-laden results.
 
         Args:
             circuit: a Clifford+T program.
             layout: optional pre-built layout (must match the config's r).
+            validate: run the :mod:`repro.verify` replay validator over both
+                the raw and the optimised schedule; raises
+                :class:`~repro.verify.ValidationError` on any violation.
+                Also forced on by the ``REPRO_VALIDATE`` environment
+                variable (the debug assertion mode CI uses).
         """
         config = self.config
+        if not validate:
+            from ..verify import env_forced
+
+            validate = env_forced()
         layout = layout or self.build_layout(circuit)
         placement = choose_mapping(circuit, layout, config.mapping)
         ports = assign_factory_ports(layout, config.num_factories)
@@ -53,6 +67,11 @@ class FaultTolerantCompiler:
         schedule, stats = self._run_schedule(
             circuit, layout, placement, ports, config.instruction_set
         )
+        # The raw-stage pass only adds information when the Sec. V-D
+        # optimisation will rewrite the schedule; otherwise the final
+        # validation below covers the identical object.
+        if validate and config.eliminate_redundant_moves:
+            self._validate_schedule(schedule, circuit, "raw")
         elimination = None
         if config.eliminate_redundant_moves:
             schedule, elimination = optimize_schedule(schedule)
@@ -72,7 +91,7 @@ class FaultTolerantCompiler:
         bound = distillation_lower_bound(
             t_states, factory_config.distill_time, config.num_factories
         )
-        return CompilationResult(
+        result = CompilationResult(
             schedule=schedule,
             layout=layout,
             profile=circuit_profile,
@@ -84,6 +103,28 @@ class FaultTolerantCompiler:
             lower_bound=bound,
             elimination=elimination,
             stats=stats,
+        )
+        if validate:
+            from ..verify import raise_if_invalid, validate_result
+
+            raise_if_invalid(
+                validate_result(result, circuit, config, label=circuit.name)
+            )
+        return result
+
+    def _validate_schedule(self, schedule, circuit, label: str) -> None:
+        """Replay-validate one schedule stage; raise on any violation."""
+        from ..verify import config_distill_times, raise_if_invalid, validate_schedule
+
+        config = self.config
+        raise_if_invalid(
+            validate_schedule(
+                schedule,
+                circuit=circuit,
+                distill_times=config_distill_times(config),
+                expected_t_states=config.synthesis.circuit_t_count(circuit),
+                label=f"{circuit.name}/{label}",
+            )
         )
 
     def _run_schedule(self, circuit, layout, placement, ports, isa):

@@ -5,8 +5,12 @@ to / loaded from ``.qasm`` text so the compiler can ingest external circuits
 (e.g. QASMBench programs) without any third-party dependency.
 
 Supported statements: the header, one quantum register, one classical
-register, the gate set of :mod:`repro.ir.gates`, ``measure`` and ``barrier``.
-Angles accept ``pi`` arithmetic expressions such as ``rz(3*pi/4) q[2];``.
+register, the gate set of :mod:`repro.ir.gates`, ``measure`` (indexed or
+whole-register, as in real QASMBench programs) and ``barrier`` (indexed or
+whole-register).  Barriers round-trip: since they carry DAG
+pseudo-dependency edges the scheduler serialises on, a file-loaded circuit
+must schedule identically to the in-memory one that produced it.  Angles
+accept ``pi`` arithmetic expressions such as ``rz(3*pi/4) q[2];``.
 """
 
 from __future__ import annotations
@@ -82,7 +86,8 @@ def dumps(circuit: Circuit) -> str:
             q = gate.qubits[0]
             lines.append(f"measure q[{q}] -> c[{q}];")
         elif gate.name == g.BARRIER:
-            lines.append(f"barrier {args};")
+            # a barrier with no explicit qubits spans the whole register
+            lines.append(f"barrier {args};" if args else "barrier q;")
         elif gate.param is not None:
             lines.append(f"{gate.name}({_format_angle(gate.param)}) {args};")
         else:
@@ -114,15 +119,33 @@ def loads(text: str, name: str = "qasm") -> Circuit:
     return circuit
 
 
+_MEASURE_RE = re.compile(
+    r"measure\s+(?P<reg>[A-Za-z_]\w*)\s*(\[\s*(?P<idx>\d+)\s*\])?"
+    r"(\s*->\s*[A-Za-z_]\w*\s*(\[\s*\d+\s*\])?)?\s*;"
+)
+
+
 def _parse_statement(statement: str, circuit: Circuit) -> None:
     if statement.startswith("measure"):
-        indices = [int(m.group("idx")) for m in _ARG_RE.finditer(statement)]
-        if not indices:
+        match = _MEASURE_RE.match(statement)
+        if not match:
             raise QasmError(f"malformed measure: {statement!r}")
-        circuit.measure(indices[0])
+        if match.group("idx") is not None:
+            circuit.measure(int(match.group("idx")))
+        else:
+            # whole-register form ``measure q -> c;`` (QASMBench uses it):
+            # expand to one per-qubit measurement in register order
+            for qubit in range(circuit.num_qubits):
+                circuit.measure(qubit)
         return
     if statement.startswith("barrier"):
-        return  # barriers carry no scheduling semantics we need from files
+        # Barriers order gates across their qubits (DAG pseudo-dependency
+        # edges), so they must survive the round trip for file-loaded
+        # circuits to schedule identically to in-memory ones.  A bare
+        # register name spans the whole register.
+        indices = [int(m.group("idx")) for m in _ARG_RE.finditer(statement)]
+        circuit.append(g.barrier(*indices))
+        return
     match = _GATE_RE.match(statement)
     if not match:
         raise QasmError(f"cannot parse statement {statement!r}")

@@ -152,9 +152,10 @@ def _row_from_result(result, wall: float) -> dict:
     }
 
 
-def _run_case(case: BenchCase, repeat: int) -> dict:
+def _run_case(case: BenchCase, repeat: int, validate: bool = False) -> dict:
     circuit = load_benchmark(case.workload)
-    compiler = FaultTolerantCompiler(_case_config(case))
+    config = _case_config(case)
+    compiler = FaultTolerantCompiler(config)
     best = None
     result = None
     for _ in range(max(1, repeat)):
@@ -162,13 +163,18 @@ def _run_case(case: BenchCase, repeat: int) -> dict:
         result = compiler.compile(circuit)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
+    if validate:
+        # outside the timed region: walls measure compilation, not auditing
+        from ..verify import raise_if_invalid, validate_result
+
+        raise_if_invalid(validate_result(result, circuit, config, label=case.key))
     return _row_from_result(result, best)
 
 
-def _run_case_payload(payload: Tuple[BenchCase, int]) -> dict:
+def _run_case_payload(payload: Tuple[BenchCase, int, bool]) -> dict:
     """Worker entry point for ``--jobs``: one timed case per process."""
-    case, repeat = payload
-    return _run_case(case, repeat)
+    case, repeat, validate = payload
+    return _run_case(case, repeat, validate)
 
 
 def run_bench(
@@ -178,6 +184,7 @@ def run_bench(
     progress=None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    validate: bool = False,
 ) -> BenchReport:
     """Compile the suite, timing each case (best-of-``repeat``).
 
@@ -193,6 +200,9 @@ def run_bench(
             :class:`~repro.sweep.CompileCache` rooted here; per-case wall is
             then the resolution time (near zero when warm) and ``meta.cache``
             carries the hit/miss counters.
+        validate: replay-validate every case's schedule (outside the timed
+            region); raises :class:`~repro.verify.ValidationError` on the
+            first violation.
     """
     jobs = max(1, jobs)
     report = BenchReport(
@@ -204,6 +214,8 @@ def run_bench(
             "jobs": jobs,
         }
     )
+    if validate:
+        report.meta["validated"] = True
     cases = bench_cases(fast, workloads)
     sweep_start = time.perf_counter()
     if cache_dir is not None:
@@ -222,15 +234,26 @@ def run_bench(
         def timed_resolution(case: BenchCase) -> dict:
             start = time.perf_counter()
             result = engine.compile(circuits[case.workload], _case_config(case))
-            return _row_from_result(result, time.perf_counter() - start)
+            wall = time.perf_counter() - start
+            if validate:
+                # after the timer stops: walls measure resolution, not auditing
+                from ..verify import raise_if_invalid, validate_result
+
+                raise_if_invalid(
+                    validate_result(
+                        result, circuits[case.workload], _case_config(case),
+                        label=case.key,
+                    )
+                )
+            return _row_from_result(result, wall)
 
         rows = map(timed_resolution, cases)
     elif jobs > 1:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(cases) or 1))
-        rows = pool.map(_run_case_payload, [(c, repeat) for c in cases])
+        rows = pool.map(_run_case_payload, [(c, repeat, validate) for c in cases])
     else:
         pool = None
-        rows = (_run_case(case, repeat) for case in cases)
+        rows = (_run_case(case, repeat, validate) for case in cases)
     try:
         for case, row in zip(cases, rows):
             report.cases[case.key] = row

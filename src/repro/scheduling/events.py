@@ -8,6 +8,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..arch.grid import Position
 
+#: note prefix tagging ops that carry / consume a distilled magic state;
+#: the factory index follows (e.g. ``"magic-state from f2"``).  Route hops
+#: and the final consume op both carry it, so the validity engine can
+#: attribute every consumption to its producing factory.
+MAGIC_NOTE_PREFIX = "magic-state from f"
+
 
 @dataclass(frozen=True)
 class ScheduledOp:
@@ -54,6 +60,20 @@ class ScheduledOp:
         if self.kind in ("move", "evict", "restore") and len(self.cells) == 2:
             return self.cells[1:]
         return self.cells
+
+    def magic_factory(self) -> Optional[int]:
+        """Index of the factory whose state this op carries/consumes.
+
+        Parsed from the ``note`` tag the scheduler writes on magic-state
+        route hops and consume ops; None for everything else.
+        """
+        if not self.note.startswith(MAGIC_NOTE_PREFIX):
+            return None
+        suffix = self.note[len(MAGIC_NOTE_PREFIX):]
+        try:
+            return int(suffix)
+        except ValueError:
+            return None
 
     def shifted(self, new_start: float) -> "ScheduledOp":
         """Copy with a different start time (used by resimulation)."""
@@ -147,16 +167,20 @@ class Schedule:
         return [op for op in self.ops if qubit in op.qubits]
 
     def validate(self) -> None:
-        """Check per-qubit timeline consistency (no overlapping ops)."""
-        last_end: Dict[int, float] = {}
-        eps = 1e-9
-        for op in sorted(self.ops, key=lambda o: (o.start, o.uid)):
-            for q in op.qubits:
-                if op.start + eps < last_end.get(q, 0.0) and op.duration > 0:
-                    raise ValueError(
-                        f"qubit {q} double-booked at t={op.start}: {op}"
-                    )
-                last_end[q] = max(last_end.get(q, 0.0), op.end)
+        """Check per-qubit timelines and cell footprints; raise on conflict.
+
+        Thin wrapper over the :mod:`repro.verify` replay validator's
+        resource checks (the full engine adds DAG and magic-state audits —
+        use :func:`repro.verify.validate_schedule` for those).
+        """
+        from ..verify.validator import ScheduleValidator
+
+        validator = ScheduleValidator(self)
+        validator.check_timelines()
+        validator.check_cell_conflicts()
+        validator.check_min_start()
+        if not validator.report.ok:
+            raise ValueError(validator.report.summary())
 
     def to_dict(self) -> dict:
         """JSON-safe representation (the sweep cache's on-disk form)."""

@@ -39,10 +39,19 @@ def resimulate(schedule: Schedule) -> Schedule:
 def optimize_schedule(schedule: Schedule):
     """Full scheduling-stage optimisation: prune inverse moves, then re-time.
 
+    With the ``REPRO_VALIDATE`` environment variable set, the re-timed
+    schedule is replay-checked on the spot (qubit timelines, cell locks,
+    ``min_start`` floors) — a debug assertion that localises a broken
+    optimisation pass to this stage rather than to some downstream metric.
+
     Returns:
         (optimised schedule, elimination report)
     """
+    from ..verify.validator import env_forced
     from .redundant_moves import eliminate_redundant_moves
 
     pruned, report = eliminate_redundant_moves(schedule)
-    return resimulate(pruned), report
+    optimised = resimulate(pruned)
+    if env_forced():
+        optimised.validate()
+    return optimised, report

@@ -695,7 +695,11 @@ class LatticeSurgeryScheduler:
                 )
                 evictions.append(move)
 
-        start = max(delivered, self._qubit_free.get(qubit, 0.0))
+        start = max(
+            delivered,
+            self._qubit_free.get(qubit, 0.0),
+            self._cells_ready((drop,)),
+        )
         self._record(
             "gate",
             node.gate.name,
@@ -705,6 +709,7 @@ class LatticeSurgeryScheduler:
             self.isa.t_consume,
             min_start=ready,
             gate_index=node.index,
+            note=f"magic-state from f{factory.index}",
         )
         self._restore_evictions(evictions, gate_index=node.index)
         self._restore_evictions(space_moves, gate_index=node.index)

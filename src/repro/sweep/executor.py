@@ -73,13 +73,49 @@ class SweepEngine:
     Args:
         jobs: worker processes for :meth:`prefetch` (1 = fully serial).
         cache: optional persistent store; None keeps everything in-memory.
+        validate: replay-validate every resolved result against its circuit
+            and config (once per job key, wherever it came from — fresh
+            compile, worker, memo or disk, so cache corruption is caught
+            too).  Raises :class:`~repro.verify.ValidationError`.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[CompileCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[CompileCache] = None,
+        validate: bool = False,
+    ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.validate = validate
         self.counters = SweepCounters()
         self._memo: Dict[str, CompilationResult] = {}
+        self._validated: set = set()
+
+    def _check(
+        self, circuit: Circuit, config: CompilerConfig, result: CompilationResult,
+        key: Optional[str] = None, fresh: bool = False,
+    ) -> CompilationResult:
+        """Validate one resolved result (at most once per job key).
+
+        ``fresh`` marks a result this engine just compiled: with
+        ``REPRO_VALIDATE`` forcing validation inside every compile (also in
+        worker processes, which inherit the env), re-validating here would
+        audit the same schedule twice.
+        """
+        if not self.validate:
+            return result
+        if key is not None and key in self._validated:
+            return result
+        from ..verify import env_forced, raise_if_invalid, validate_result
+
+        if not (fresh and env_forced()):
+            raise_if_invalid(
+                validate_result(result, circuit, config, label=circuit.name)
+            )
+        if key is not None:
+            self._validated.add(key)
+        return result
 
     # -- single-point API ---------------------------------------------------
 
@@ -92,15 +128,18 @@ class SweepEngine:
         """Resolve one compile point (memo -> disk -> in-process compile)."""
         if not use_cache:
             self.counters.compiled += 1
-            return FaultTolerantCompiler(config).compile(circuit)
+            return self._check(
+                circuit, config, FaultTolerantCompiler(config).compile(circuit),
+                fresh=True,
+            )
         key = job_key(circuit, config)
         hit = self._lookup(key)
         if hit is not None:
-            return hit
+            return self._check(circuit, config, hit, key)
         result = FaultTolerantCompiler(config).compile(circuit)
         self.counters.compiled += 1
         self._remember(key, result)
-        return result
+        return self._check(circuit, config, result, key, fresh=True)
 
     def _lookup(self, key: str) -> Optional[CompilationResult]:
         memo = self._memo.get(key)
@@ -120,6 +159,11 @@ class SweepEngine:
         if self.cache is not None:
             self.cache.store(key, result)
 
+    @property
+    def validated_keys(self) -> frozenset:
+        """Job keys whose results passed replay validation this process."""
+        return frozenset(self._validated)
+
     def clear_memo(self) -> None:
         """Drop in-process results (the disk cache is untouched)."""
         self._memo.clear()
@@ -137,8 +181,11 @@ class SweepEngine:
         plan = plan_jobs(jobs)
         missing: List[CompileJob] = []
         for job in plan.unique:
-            if self._lookup(job.key) is None:
+            hit = self._lookup(job.key)
+            if hit is None:
                 missing.append(job)
+            else:
+                self._check(job.circuit, job.config, hit, job.key)
         if progress is not None and plan.requested:
             progress(
                 f"{plan.describe()}; {len(missing)} to compile "
@@ -151,6 +198,7 @@ class SweepEngine:
                 result = FaultTolerantCompiler(job.config).compile(job.circuit)
                 self.counters.compiled += 1
                 self._remember(job.key, result)
+                self._check(job.circuit, job.config, result, job.key, fresh=True)
                 if progress is not None:
                     progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
             return
@@ -164,6 +212,7 @@ class SweepEngine:
                 result = CompilationResult.from_dict(future.result())
                 self.counters.compiled += 1
                 self._remember(job.key, result)
+                self._check(job.circuit, job.config, result, job.key, fresh=True)
                 if progress is not None:
                     progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
 

@@ -1,0 +1,34 @@
+"""Schedule validity engine: adversarial replay checks for compiled schedules.
+
+Independent of the scheduler's own bookkeeping — see
+:mod:`repro.verify.validator` for the invariants checked, and
+:mod:`repro.verify.mutations` for the self-test layer that proves the
+validator catches each corruption class it claims to.
+"""
+
+from .mutations import MUTATIONS, MutationOutcome, run_self_test
+from .report import VIOLATION_CODES, ValidationError, ValidationReport, Violation
+from .validator import (
+    ScheduleValidator,
+    config_distill_times,
+    env_forced,
+    raise_if_invalid,
+    validate_result,
+    validate_schedule,
+)
+
+__all__ = [
+    "MUTATIONS",
+    "MutationOutcome",
+    "ScheduleValidator",
+    "config_distill_times",
+    "env_forced",
+    "ValidationError",
+    "ValidationReport",
+    "Violation",
+    "VIOLATION_CODES",
+    "raise_if_invalid",
+    "run_self_test",
+    "validate_result",
+    "validate_schedule",
+]

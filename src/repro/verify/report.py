@@ -1,0 +1,177 @@
+"""Structured outcome of one schedule validation run.
+
+A :class:`ValidationReport` is machine-readable first: every problem the
+validator finds becomes one :class:`Violation` record with a stable ``code``
+(the violation class), the offending op uid(s) and enough context (qubit,
+cell, time, gate index) to locate the defect without re-running anything.
+The CLI renders :meth:`ValidationReport.summary`; tests and CI assert on
+``report.ok`` and on the violation codes directly.
+
+Violation classes
+-----------------
+``structure``
+    Malformed schedule container: duplicate/non-monotone uids, negative
+    start or duration, an op starting before time zero.
+``footprint``
+    An op's declared cell footprint is structurally impossible: a move
+    (move/evict/restore) or route hop without its (origin, dest) cell pair,
+    or an ancilla-consuming gate (H/SX, CNOT merge, magic-state consume)
+    with no locked cell at all.
+``timeline``
+    Per-qubit timeline broken: two ops occupy the same program qubit at
+    overlapping times, or appear out of schedule order on that wire.
+``cell-conflict``
+    Two ops lock the same grid cell (their :meth:`ScheduledOp.resource_cells`
+    footprints) at overlapping times.
+``min-start``
+    An op starts before its declared external release time (``min_start``:
+    magic-state availability or a barrier floor) — the Sec. V-D re-timing
+    contract is broken.
+``dependency``
+    DAG wire order broken: a gate's op runs on a shared qubit before a
+    predecessor gate's last op on that qubit has finished.
+``barrier``
+    Barrier serialisation broken: an op of a barrier-successor node starts
+    before a barrier-predecessor node has completely finished.
+``coverage``
+    Gate/DAG mismatch: a DAG node produced no scheduled op at all, or an op
+    references a gate index outside the DAG.
+``magic-pipeline``
+    A magic state is consumed before its distillation pipeline could have
+    produced it: the k-th earliest consumption from one factory starts
+    before ``k * distill_time`` (a state consumed twice compresses the
+    sequence below this bound too).
+``magic-count``
+    Magic-state conservation broken: the number of consume operations does
+    not match the circuit's T-count under the synthesis model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: the closed set of violation classes the validator can emit.
+VIOLATION_CODES = (
+    "structure",
+    "footprint",
+    "timeline",
+    "cell-conflict",
+    "min-start",
+    "dependency",
+    "barrier",
+    "coverage",
+    "magic-pipeline",
+    "magic-count",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule the schedule breaks.
+
+    Attributes:
+        code: violation class, one of :data:`VIOLATION_CODES`.
+        message: human-readable description with concrete values.
+        uid: offending op uid (or the later op of a conflicting pair).
+        other_uid: the earlier op of a pair, when the violation is pairwise.
+        gate_index: DAG node involved, when known.
+        qubit: program qubit involved, when the rule is per-qubit.
+        cell: grid cell involved, when the rule is per-cell.
+        time: time coordinate of the violation (usually the bad start).
+    """
+
+    code: str
+    message: str
+    uid: Optional[int] = None
+    other_uid: Optional[int] = None
+    gate_index: Optional[int] = None
+    qubit: Optional[int] = None
+    cell: Optional[Tuple[int, int]] = None
+    time: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "uid": self.uid,
+            "other_uid": self.other_uid,
+            "gate_index": self.gate_index,
+            "qubit": self.qubit,
+            "cell": None if self.cell is None else list(self.cell),
+            "time": self.time,
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Everything one validation run established about a schedule."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: check name -> number of facts examined (ops, intervals, edges, ...).
+    checks: Dict[str, int] = field(default_factory=dict)
+    ops_checked: int = 0
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def count(self, code: str) -> int:
+        """Number of violations of one class."""
+        return sum(1 for v in self.violations if v.code == code)
+
+    def codes(self) -> Dict[str, int]:
+        """Violation class -> occurrence count."""
+        histogram: Dict[str, int] = {}
+        for violation in self.violations:
+            histogram[violation.code] = histogram.get(violation.code, 0) + 1
+        return histogram
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "ops_checked": self.ops_checked,
+            "checks": dict(self.checks),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def summary(self, limit: int = 10) -> str:
+        """Short human-readable digest (CLI output)."""
+        head = f"validated {self.ops_checked} ops"
+        if self.label:
+            head = f"{self.label}: {head}"
+        if self.ok:
+            return f"{head}: OK"
+        parts = ", ".join(f"{code} x{n}" for code, n in sorted(self.codes().items()))
+        lines = [f"{head}: {len(self.violations)} violation(s) ({parts})"]
+        for violation in self.violations[:limit]:
+            lines.append(f"  {violation}")
+        if len(self.violations) > limit:
+            lines.append(f"  ... ({len(self.violations) - limit} more)")
+        return "\n".join(lines)
+
+
+class ValidationError(RuntimeError):
+    """Raised when a schedule fails validation and the caller asked to raise.
+
+    Carries the full :class:`ValidationReport` as :attr:`report`.
+    """
+
+    def __init__(self, report: ValidationReport) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+    def __reduce__(self):
+        # Exceptions pickle as (class, self.args); args here is the summary
+        # string, which __init__ cannot consume.  Reduce to the report so
+        # the error crosses process-pool boundaries intact (``--jobs N``
+        # workers) instead of killing the pool on unpickling.
+        return (type(self), (self.report,))

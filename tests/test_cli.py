@@ -60,7 +60,7 @@ class TestExperiment:
         # warm rerun: every point resolves from disk, zero compilations
         assert main(argv) == 0
         warm = capsys.readouterr().out
-        assert "0 compiled" in warm.rsplit("[sweep]", 1)[1]
+        assert " 0 compiled" in warm.rsplit("[sweep]", 1)[1]
         rows = lambda out: [l for l in out.splitlines() if "ours-r" in l]
         assert rows(warm) == rows(cold)
         assert rows(cold)  # the table actually has sweep rows
@@ -115,6 +115,36 @@ class TestBenchCommand:
             **{k: dict(v, wall=warm["cases"][k]["wall"])
                for k, v in cold["cases"].items()},
         )
+
+
+class TestValidateFlags:
+    def test_compile_validate(self, tmp_path, capsys):
+        path = str(tmp_path / "prog.qasm")
+        qasm.dump_file(ising_2d(2), path)
+        assert main(["compile", path, "--validate"]) == 0
+        assert "replay-validated" in capsys.readouterr().out
+
+    def test_experiment_validate_cold_and_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["experiment", "fig12", "--fast", "--cache-dir", cache,
+                "--validate"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[verify]" in cold and "0 violations" in cold
+        # warm rerun validates the disk-cached schedules too
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert " 0 compiled" in warm.rsplit("[sweep]", 1)[1]
+        assert "[verify]" in warm and "0 violations" in warm
+
+    def test_bench_validate(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--fast", "--workload", "ising_2d_2x2",
+                     "--validate", "-o", str(out_path)]) == 0
+        assert "replay-validated" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["meta"]["validated"] is True
 
 
 class TestMisc:

@@ -1,9 +1,11 @@
 """OpenQASM 2 round-trip tests."""
 
 import math
+import random
 
 import pytest
 
+from repro.compiler.pipeline import compile_circuit
 from repro.ir import qasm
 from repro.ir.circuit import Circuit, bell_pair
 from repro.ir.qasm import QasmError
@@ -81,3 +83,117 @@ class TestRoundTrip:
         path = str(tmp_path / "bell.qasm")
         qasm.dump_file(bell_pair(), path)
         assert qasm.load_file(path).gate_counts() == {"h": 1, "cx": 1}
+
+
+class TestBarriers:
+    """Barriers carry DAG pseudo-dependency edges since the scheduler
+    serialises across them, so they must survive the round trip."""
+
+    def circuit(self):
+        circuit = Circuit(3, name="barriered")
+        circuit.h(0).cx(0, 1)
+        circuit.barrier(0, 1)
+        circuit.t(1)
+        circuit.barrier()  # whole register
+        circuit.h(2)
+        return circuit
+
+    def test_dumps_emits_indexed_barrier(self):
+        assert "barrier q[0],q[1];" in qasm.dumps(self.circuit())
+
+    def test_dumps_emits_whole_register_barrier(self):
+        assert "barrier q;" in qasm.dumps(self.circuit())
+
+    def test_loads_preserves_barriers(self):
+        recovered = qasm.loads(qasm.dumps(self.circuit()))
+        barriers = [gate for gate in recovered if gate.name == "barrier"]
+        assert [gate.qubits for gate in barriers] == [(0, 1), ()]
+
+    def test_round_trip_gate_stream_identical(self):
+        original = self.circuit()
+        recovered = qasm.loads(qasm.dumps(original))
+        assert [(g.name, g.qubits) for g in recovered] == [
+            (g.name, g.qubits) for g in original
+        ]
+
+    def test_loaded_circuit_schedules_identically(self):
+        # the bug this fixes: loads() used to drop barriers, so a
+        # file-loaded circuit scheduled differently from the in-memory one
+        original = self.circuit()
+        recovered = qasm.loads(qasm.dumps(original))
+        a = compile_circuit(original, routing_paths=3)
+        b = compile_circuit(recovered, routing_paths=3)
+        assert a.schedule.makespan == b.schedule.makespan
+        assert [
+            (op.kind, op.name, op.start, op.cells) for op in a.schedule
+        ] == [(op.kind, op.name, op.start, op.cells) for op in b.schedule]
+
+
+class TestWholeRegisterMeasure:
+    def test_expands_to_per_qubit_measures(self):
+        text = "OPENQASM 2.0; qreg q[3]; creg c[3]; measure q -> c;"
+        circuit = qasm.loads(text)
+        assert circuit.gate_counts() == {"measure": 3}
+        assert [gate.qubits for gate in circuit] == [(0,), (1,), (2,)]
+
+    def test_indexed_measure_still_works(self):
+        text = "OPENQASM 2.0; qreg q[3]; creg c[3]; measure q[2] -> c[0];"
+        circuit = qasm.loads(text)
+        assert [gate.qubits for gate in circuit] == [(2,)]
+
+    def test_measure_without_arrow_accepted(self):
+        text = "OPENQASM 2.0; qreg q[2]; measure q[1];"
+        assert [gate.qubits for gate in qasm.loads(text)] == [(1,)]
+
+    def test_garbage_measure_rejected(self):
+        with pytest.raises(QasmError):
+            qasm.loads("OPENQASM 2.0; qreg q[2]; measure 17;")
+
+    def test_multi_statement_line(self):
+        text = (
+            "OPENQASM 2.0; qreg q[2]; creg c[2]; "
+            "h q[0]; measure q[0] -> c[0]; measure q[1] -> c[1];"
+        )
+        circuit = qasm.loads(text)
+        assert circuit.gate_counts() == {"h": 1, "measure": 2}
+
+
+class TestAngleRoundTrip:
+    """Property tests: loads(dumps(c)) preserves every rz/rx angle,
+    through both the tidy pi-multiple formatter and the repr fallback."""
+
+    def _round_trip_angles(self, angles):
+        circuit = Circuit(1)
+        for theta in angles:
+            circuit.rz(theta, 0)
+            circuit.rx(theta, 0)
+        recovered = qasm.loads(qasm.dumps(circuit))
+        assert len(recovered) == len(circuit)
+        for a, b in zip(circuit, recovered):
+            assert b.name == a.name
+            assert b.param == pytest.approx(a.param, abs=1e-12)
+
+    def test_tidy_pi_multiples(self):
+        angles = [
+            k * math.pi / denom
+            for denom in (1, 2, 3, 4, 6, 8, 16)
+            for k in (-5, -1, 1, 2, 7)
+        ]
+        self._round_trip_angles(angles)
+
+    def test_zero_and_full_turns(self):
+        self._round_trip_angles([0.0, 2 * math.pi, -2 * math.pi, 64 * math.pi])
+
+    def test_random_angles_repr_fallback(self):
+        rng = random.Random(20260730)
+        angles = [rng.uniform(-8 * math.pi, 8 * math.pi) for _ in range(50)]
+        self._round_trip_angles(angles)
+
+    def test_tiny_and_huge_magnitudes(self):
+        self._round_trip_angles([1e-9, -1e-9, 1e3, -123.456789, 3e-5])
+
+    def test_non_tidy_near_pi_multiples(self):
+        # close to, but not exactly, tidy multiples: must use the fallback
+        self._round_trip_angles(
+            [math.pi / 4 + 1e-7, -math.pi / 2 - 1e-7, 3 * math.pi / 8 + 1e-6]
+        )

@@ -1,0 +1,73 @@
+"""Mutation self-tests: every seeded corruption class must be caught.
+
+This is the validator's own regression net: if a check is weakened or
+skipped, the corresponding mutation stops being flagged and these tests
+fail — even while every genuinely compiled schedule stays green."""
+
+import pytest
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.pipeline import FaultTolerantCompiler
+from repro.ir.circuit import Circuit
+from repro.verify import (
+    MUTATIONS,
+    config_distill_times,
+    run_self_test,
+    validate_result,
+)
+from repro.workloads import load_benchmark
+
+
+def _self_test(circuit, config):
+    result = FaultTolerantCompiler(config).compile(circuit)
+    # precondition: the uncorrupted schedule is valid
+    assert validate_result(result, circuit, config).ok
+    return run_self_test(
+        result.schedule, circuit, config_distill_times(config), result.t_states
+    )
+
+
+@pytest.fixture(scope="module")
+def benchmark_outcomes():
+    circuit = load_benchmark("ising_2d_4x4")
+    return _self_test(circuit, CompilerConfig(routing_paths=4, num_factories=2))
+
+
+@pytest.fixture(scope="module")
+def barrier_outcomes():
+    circuit = Circuit(4, name="barriered")
+    circuit.h(0).cx(0, 1).t(1).t(0)
+    circuit.barrier()
+    circuit.cx(2, 3).t(3).h(2).t(2)
+    return _self_test(circuit, CompilerConfig(routing_paths=3))
+
+
+class TestSelfTest:
+    def test_every_applicable_mutation_caught(self, benchmark_outcomes):
+        failed = [o for o in benchmark_outcomes if not o.ok]
+        assert not failed, [
+            (o.name, o.expected_code, o.found_codes) for o in failed
+        ]
+
+    def test_benchmark_covers_most_classes(self, benchmark_outcomes):
+        applicable = {o.name for o in benchmark_outcomes if o.applicable}
+        # everything except the barrier mutation applies to a plain benchmark
+        assert applicable == set(MUTATIONS) - {"pull-across-barrier"}
+
+    def test_barrier_circuit_covers_all_classes(self, barrier_outcomes):
+        applicable = {o.name for o in barrier_outcomes if o.applicable}
+        assert applicable == set(MUTATIONS)
+        failed = [o for o in barrier_outcomes if not o.ok]
+        assert not failed, [
+            (o.name, o.expected_code, o.found_codes) for o in failed
+        ]
+
+    def test_expected_code_is_the_one_found(self, benchmark_outcomes):
+        # each caught mutation reports its target class among the findings
+        for outcome in benchmark_outcomes:
+            if outcome.applicable:
+                assert outcome.expected_code in outcome.found_codes
+
+    def test_outcome_ok_semantics(self, benchmark_outcomes):
+        for outcome in benchmark_outcomes:
+            assert outcome.ok == (outcome.caught or not outcome.applicable)
