@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown link integrity + doctests in code blocks.
+
+Run from the repo root (CI's docs job does)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Two passes over ``README.md`` and every ``docs/**/*.md``:
+
+1. **links** — every relative markdown link ``[text](target)`` must point
+   at an existing file (external http(s)/mailto links are skipped), and
+   every in-page anchor (``#section``, same-file or cross-file) must
+   match a heading in the target document;
+2. **doctests** — every fenced ```` ```pycon ```` block is executed with
+   :mod:`doctest`, so the documented examples can never silently rot.
+   (Plain ``python``/``bash`` blocks are illustrative and not executed.)
+
+Exit code 0 when everything holds, 1 with a per-problem listing otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+#: matches inline markdown links; deliberately ignores images (![...])
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: matches fenced code blocks, capturing the info string and the body
+_FENCE_RE = re.compile(r"^```([a-zA-Z0-9_-]*)\n(.*?)^```$", re.M | re.S)
+
+#: matches ATX headings for anchor checking
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.M)
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def doc_files(root: Path) -> List[Path]:
+    """README plus everything under docs/, deterministic order."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, punctuation dropped)."""
+    # strip inline code/link markup before slugifying
+    text = re.sub(r"[`*_]|\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    return {github_anchor(h) for h in _HEADING_RE.findall(path.read_text())}
+
+
+def check_links(path: Path) -> List[str]:
+    """Broken relative links / anchors in one markdown file."""
+    problems: List[str] = []
+    for target in _LINK_RE.findall(path.read_text()):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(f"{path.name}: broken anchor -> {target}")
+    return problems
+
+
+def check_doctests(path: Path) -> List[str]:
+    """Failing ```pycon doctest blocks in one markdown file."""
+    problems: List[str] = []
+    runner = doctest.DocTestRunner(
+        verbose=False, optionflags=doctest.ELLIPSIS
+    )
+    parser = doctest.DocTestParser()
+    for index, match in enumerate(_FENCE_RE.finditer(path.read_text())):
+        info, body = match.group(1), match.group(2)
+        if info != "pycon":
+            continue
+        test = parser.get_doctest(
+            body, {}, f"{path.name}[block {index}]", str(path), 0
+        )
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            problems.append(
+                f"{path.name}: doctest block {index} failed "
+                f"({result.failed}/{result.attempted} examples)"
+            )
+    return problems
+
+
+def run_checks(root: Path) -> List[str]:
+    """All documentation problems under ``root`` (empty = healthy docs)."""
+    problems: List[str] = []
+    for path in doc_files(root):
+        problems.extend(check_links(path))
+        problems.extend(check_doctests(path))
+    return problems
+
+
+def main() -> int:
+    root = repo_root()
+    files = doc_files(root)
+    problems = run_checks(root)
+    for problem in problems:
+        print(f"error: {problem}")
+    print(
+        f"[docs] checked {len(files)} file(s): "
+        f"{'OK' if not problems else f'{len(problems)} problem(s)'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI smoke test for the compile service: cold request, warm request, counters.
+
+Boots a real server (own thread, TCP socket, persistent worker pool and a
+throwaway disk cache), performs one cold and one warm request for the same
+job, and asserts the contract the service exists for:
+
+* the second identical request is a **cache hit with zero compilations**;
+* both responses carry the **same content-addressed key and behavioural
+  fingerprint**, and the key equals what ``repro.sweep.job_key`` computes
+  locally for the same job;
+* a fresh server on the same cache directory serves the job from **disk**
+  without compiling at all.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.compiler.config import CompilerConfig
+from repro.service import Client, ServiceThread
+from repro.sweep import CompileCache, job_key
+from repro.workloads import load_benchmark
+
+WORKLOAD = "ising_2d_2x2"
+ROUTING_PATHS = 3
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[service-smoke] FAIL: {message}")
+        sys.exit(1)
+    print(f"[service-smoke] ok: {message}")
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    local_key = job_key(
+        load_benchmark(WORKLOAD), CompilerConfig(routing_paths=ROUTING_PATHS)
+    )
+
+    with ServiceThread(jobs=2, cache=CompileCache(cache_dir)) as service:
+        host, port = service.address
+        print(f"[service-smoke] server on {host}:{port} (cache {cache_dir})")
+        with Client(host, port) as client:
+            cold = client.compile(workload=WORKLOAD, routing_paths=ROUTING_PATHS)
+            warm = client.compile(workload=WORKLOAD, routing_paths=ROUTING_PATHS)
+            stats = client.stats()
+
+        check(cold.source == "compiled", f"cold request compiled ({cold.wall:.3f}s)")
+        check(warm.warm, f"warm request was a cache hit (source={warm.source})")
+        check(
+            stats["engine"]["compiled"] == 1,
+            "exactly one compilation server-side",
+        )
+        check(
+            stats["compile"]["cache_hits"] == 1,
+            f"cache-hit counter incremented ({stats['compile']})",
+        )
+        check(warm.key == cold.key == local_key, "content-addressed key parity")
+        check(warm.fingerprint == cold.fingerprint, "fingerprint parity")
+
+    # a brand-new server process state over the same cache directory must
+    # serve the job from disk without compiling anything
+    with ServiceThread(jobs=1, cache=CompileCache(cache_dir)) as service:
+        with Client(*service.address) as client:
+            disk = client.compile(workload=WORKLOAD, routing_paths=ROUTING_PATHS)
+            stats = client.stats()
+        check(disk.source == "disk", "restarted server serves from disk")
+        check(
+            stats["engine"]["compiled"] == 0,
+            "zero compilations after restart",
+        )
+        check(disk.fingerprint == cold.fingerprint, "fingerprint stable across restart")
+
+    print("[service-smoke] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

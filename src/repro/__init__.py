@@ -5,6 +5,15 @@ lattice-surgery compiler for early fault-tolerant quantum computers with
 distillation-adaptive layouts and greedy routing heuristics, plus every
 substrate and baseline its evaluation depends on.
 
+The packages stack into a pipeline (see ``docs/architecture.md`` for the
+full tour): :mod:`~repro.ir` and :mod:`~repro.synthesis` form the
+front-end, :mod:`~repro.arch` the hardware substrate, :mod:`~repro.routing`
+and :mod:`~repro.scheduling` the back-end, :mod:`~repro.compiler` the
+driver that ties them together.  Above the single-compile pipeline sit
+:mod:`~repro.verify` (independent replay validation), :mod:`~repro.sweep`
+(deduped, cached, parallel compile grids) and :mod:`~repro.service` (the
+long-lived multi-client compile endpoint behind ``repro serve``).
+
 Quickstart::
 
     from repro import compile_circuit

@@ -6,6 +6,7 @@ Usage::
     python -m repro benchmark ising_2d_4x4 -r 3 -r 6
     python -m repro experiment fig9 --fast --jobs 4
     python -m repro experiment all --fast
+    python -m repro serve --jobs 4 --cache-dir ~/.cache/repro/sweep
     python -m repro list
 
 The CLI is intentionally thin: it parses arguments, calls the library and
@@ -14,7 +15,9 @@ sweeps run through the :mod:`repro.sweep` engine: compile points shared
 across figures are deduped, misses fan out over ``--jobs`` processes, and
 results persist in a content-addressed cache (``--cache-dir``, disabled by
 ``--no-cache``) so re-running a figure after a no-op change is near
-instant.
+instant.  ``repro serve`` keeps the same engine alive as a long-lived TCP
+compile service (see :mod:`repro.service`), and ``repro service-bench``
+measures its throughput into ``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -30,7 +33,14 @@ from .experiments import ALL_EXPERIMENTS, collect_jobs
 from .ir import qasm
 from .ir.passes import optimize
 from .metrics.report import Table
-from .perf import BENCH_FILENAME
+from .perf import BENCH_FILENAME, BENCH_SERVICE_FILENAME
+from .perf.service_bench import (
+    run_service_bench,
+    service_report_text,
+    write_service_report,
+)
+from .service import DEFAULT_MAX_PENDING, run_server
+from .service import DEFAULT_PORT as SERVICE_DEFAULT_PORT
 from .sweep import CompileCache, SweepEngine, use_engine
 from .verify import ValidationError
 from .workloads import benchmark_names, load_benchmark
@@ -102,6 +112,42 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--validate", action="store_true",
                             help="replay-validate every case's schedule "
                                  "outside the timed region")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the TCP compile service (JSON lines, see repro.service)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=SERVICE_DEFAULT_PORT,
+                           help=f"TCP port (default {SERVICE_DEFAULT_PORT}; 0 = ephemeral)")
+    serve_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                           help="worker processes in the persistent compile pool")
+    serve_cmd.add_argument("--cache-dir", default=None,
+                           help="persistent result cache root "
+                                "(default $REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="serve without a persistent cache (memo only)")
+    serve_cmd.add_argument("--validate", action="store_true",
+                           help="replay-validate every response before sending "
+                                "(failures become structured client errors)")
+    serve_cmd.add_argument("--max-pending", type=int, default=DEFAULT_MAX_PENDING,
+                           help="bound on distinct in-flight compilations; "
+                                "beyond it requests are shed with the "
+                                "'overloaded' error code")
+
+    sbench_cmd = sub.add_parser(
+        "service-bench",
+        help="measure service throughput (cold/warm/coalesce phases)",
+    )
+    sbench_cmd.add_argument("--jobs", "-j", type=int, default=2,
+                            help="worker processes in the service under test")
+    sbench_cmd.add_argument("--requests", type=int, default=200,
+                            help="round-trips in the sustained warm phase")
+    sbench_cmd.add_argument("--clients", type=int, default=8,
+                            help="concurrent connections in the coalesce burst")
+    sbench_cmd.add_argument("--output", "-o", default=None,
+                            help="output JSON path "
+                                 f"(default {BENCH_SERVICE_FILENAME}; '-' to skip)")
 
     sub.add_parser("list", help="list available benchmarks and experiments")
     return parser
@@ -231,6 +277,35 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    cache = None if args.no_cache else CompileCache(args.cache_dir)
+    return run_server(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache=cache,
+        validate=args.validate,
+        max_pending=args.max_pending,
+        announce=print,
+    )
+
+
+def _cmd_service_bench(args) -> int:
+    report = run_service_bench(
+        jobs=args.jobs,
+        requests=args.requests,
+        clients=args.clients,
+        progress=print,
+    )
+    print()
+    print(service_report_text(report))
+    output = args.output if args.output is not None else BENCH_SERVICE_FILENAME
+    if output != "-":
+        write_service_report(report, output)
+        print(f"wrote {output}")
+    return 0
+
+
 def _cmd_list() -> int:
     print("benchmarks:")
     for name in benchmark_names():
@@ -252,6 +327,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "service-bench":
+        return _cmd_service_bench(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

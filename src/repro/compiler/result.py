@@ -10,6 +10,11 @@ from ..ir.properties import CircuitProfile
 from ..scheduling.events import Schedule
 from ..scheduling.redundant_moves import EliminationReport
 
+#: the keys of :meth:`CompilationResult.fingerprint`, in order.  The perf
+#: harness's drift gate compares exactly these fields — import this tuple
+#: rather than restating the list.
+FINGERPRINT_FIELDS = ("makespan", "num_ops", "num_moves", "stats")
+
 
 @dataclass
 class CompilationResult:
@@ -83,6 +88,22 @@ class CompilationResult:
         if self.unit_cost_time is None or self.lower_bound <= 0:
             return None
         return self.unit_cost_time / self.lower_bound
+
+    def fingerprint(self) -> Dict:
+        """Behavioural fingerprint of the compiled schedule.
+
+        The fields a perf change must never alter: the perf harness gates
+        ``--baseline`` drift on them and the compile service echoes them
+        in every response, so both must share this one definition.  Keys
+        are exactly :data:`FINGERPRINT_FIELDS`.
+        """
+        values = {
+            "makespan": self.schedule.makespan,
+            "num_ops": len(self.schedule),
+            "num_moves": self.schedule.num_moves,
+            "stats": dict(self.stats),
+        }
+        return {field: values[field] for field in FINGERPRINT_FIELDS}
 
     # -- serialization ----------------------------------------------------------
 

@@ -1,4 +1,10 @@
-"""Metrics and report rendering."""
+"""Evaluation metrics and report rendering.
+
+:mod:`~repro.metrics.spacetime` computes the paper's figures of merit
+(spacetime volume, cycles-per-instruction, overhead factors, geometric
+means over benchmark suites); :mod:`~repro.metrics.report` renders the
+aligned text tables every experiment and the CLI print.
+"""
 
 from .report import Table, combine
 from .spacetime import (

@@ -1,4 +1,14 @@
-"""Compiler performance benchmarking (the ``repro bench`` subcommand)."""
+"""Compiler performance benchmarking.
+
+Two harnesses, two committed trajectory files:
+
+* :mod:`~repro.perf.bench` (``repro bench``) times end-to-end
+  compilations over the workload suite and gates on the behavioural
+  fingerprint — ``BENCH_routing.json``;
+* :mod:`~repro.perf.service_bench` (``repro service-bench``) measures
+  the compile service's cold/warm/coalesce behaviour and sustained
+  throughput — ``BENCH_service.json``.
+"""
 
 from .bench import (
     BENCH_FILENAME,
@@ -9,13 +19,23 @@ from .bench import (
     has_drift,
     run_bench,
 )
+from .service_bench import (
+    BENCH_SERVICE_FILENAME,
+    run_service_bench,
+    service_report_text,
+    write_service_report,
+)
 
 __all__ = [
     "BENCH_FILENAME",
+    "BENCH_SERVICE_FILENAME",
     "BenchCase",
     "BenchReport",
     "bench_cases",
     "compare_reports",
     "has_drift",
     "run_bench",
+    "run_service_bench",
+    "service_report_text",
+    "write_service_report",
 ]

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 from .. import __version__
 from ..compiler.config import CompilerConfig
 from ..compiler.pipeline import FaultTolerantCompiler
+from ..compiler.result import FINGERPRINT_FIELDS
 from ..sweep import CompileCache, CompileJob, SweepEngine
 from ..workloads import load_benchmark
 
@@ -144,11 +145,8 @@ def _case_config(case: BenchCase) -> CompilerConfig:
 def _row_from_result(result, wall: float) -> dict:
     return {
         "wall": round(wall, 4),
-        "makespan": result.schedule.makespan,
-        "num_ops": len(result.schedule),
-        "num_moves": result.schedule.num_moves,
         "total_qubits": result.total_qubits,
-        "stats": result.stats,
+        **result.fingerprint(),
     }
 
 
@@ -269,9 +267,10 @@ def run_bench(
     return report
 
 
-#: per-case fields that make up the behavioural fingerprint (shared by
-#: has_drift and compare_reports so the gate and the report never diverge).
-_FINGERPRINT_FIELDS = ("makespan", "num_ops", "num_moves", "stats")
+#: per-case fields that make up the behavioural fingerprint — imported
+#: from the canonical definition next to CompilationResult.fingerprint so
+#: the drift gate, the report rows and the service responses cannot diverge.
+_FINGERPRINT_FIELDS = FINGERPRINT_FIELDS
 
 
 def has_drift(baseline: dict, current: BenchReport) -> bool:

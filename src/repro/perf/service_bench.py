@@ -1,0 +1,219 @@
+"""Throughput smoke harness for the compile service.
+
+Boots a real :class:`~repro.service.ServiceThread` (own event loop, TCP
+socket, persistent worker pool, fresh disk cache) and measures the three
+behaviours that make the service worth running:
+
+* **cold** — every case of the fast bench matrix compiled once through
+  the service (per-case wall includes protocol + scheduling overhead);
+* **warm** — a sustained stream of repeat requests over the same cases:
+  all must resolve from the memo with **zero recompilation**; reports
+  requests/second and client-observed p50/p95;
+* **coalesce** — a burst of concurrent identical requests for one
+  uncached job: exactly one compilation, the rest piggyback.
+
+``repro service-bench`` writes the numbers to ``BENCH_service.json`` —
+the committed copy is the service-layer perf trajectory, the same way
+``BENCH_routing.json`` tracks the routing core.  Throughput numbers are
+machine-dependent; the *invariants* (warm compiled-count zero, coalesced
+burst costing one compile) are what CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..service.batcher import LatencyWindow
+from ..service.client import Client
+from ..service.server import ServiceThread
+from ..sweep import CompileCache
+from .bench import bench_cases
+
+#: default output file, tracked over time as the service perf trajectory.
+BENCH_SERVICE_FILENAME = "BENCH_service.json"
+
+#: the coalesce-burst job: in the full bench matrix but not the fast one,
+#: so it is guaranteed cold after the cold/warm phases.
+_COALESCE_CASE = ("ising_2d_4x4", 3, 1)
+
+
+def run_service_bench(
+    jobs: int = 2,
+    requests: int = 200,
+    clients: int = 8,
+    cache_dir: Optional[str] = None,
+    progress=None,
+) -> dict:
+    """Run the three-phase service benchmark; returns the report dict.
+
+    Args:
+        jobs: worker processes in the service's compile pool.
+        requests: round-trips in the sustained warm phase.
+        clients: concurrent connections in the coalesce burst.
+        cache_dir: service cache root; defaults to a fresh temp dir so
+            the cold phase is genuinely cold.
+        progress: optional callable for per-phase status lines.
+    """
+
+    def note(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    owned_cache_dir = None
+    if cache_dir is None:
+        cache_dir = owned_cache_dir = tempfile.mkdtemp(
+            prefix="repro-service-bench-"
+        )
+    try:
+        return _run_phases(jobs, requests, clients, cache_dir, note)
+    finally:
+        if owned_cache_dir is not None:
+            shutil.rmtree(owned_cache_dir, ignore_errors=True)
+
+
+def _run_phases(
+    jobs: int, requests: int, clients: int, cache_dir: str, note
+) -> dict:
+    cases = bench_cases(fast=True)
+    report: dict = {
+        "meta": {
+            "version": __version__,
+            "python": platform.python_version(),
+            "jobs": jobs,
+            "requests": requests,
+            "clients": clients,
+        }
+    }
+    with ServiceThread(jobs=jobs, cache=CompileCache(cache_dir)) as service:
+        host, port = service.address
+        note(f"service on {host}:{port} ({jobs} workers, cache {cache_dir})")
+
+        with Client(host, port) as client:
+            # -- cold phase ------------------------------------------------
+            cold: Dict[str, float] = {}
+            cold_start = time.perf_counter()
+            for case in cases:
+                begin = time.perf_counter()
+                reply = client.compile(
+                    workload=case.workload,
+                    routing_paths=case.routing_paths,
+                    num_factories=case.num_factories,
+                )
+                cold[case.key] = round(time.perf_counter() - begin, 4)
+                if reply.source != "compiled":
+                    raise RuntimeError(
+                        f"cold case {case.key} resolved from {reply.source!r}"
+                    )
+            cold_wall = time.perf_counter() - cold_start
+            report["cold"] = {
+                "cases": cold,
+                "total_wall": round(cold_wall, 4),
+            }
+            note(f"cold: {len(cases)} cases in {cold_wall:.3f}s")
+
+            # -- warm sustained phase --------------------------------------
+            latency = LatencyWindow(maxlen=max(requests, 1))
+            sources: Dict[str, int] = {}
+            warm_start = time.perf_counter()
+            for index in range(requests):
+                case = cases[index % len(cases)]
+                begin = time.perf_counter()
+                reply = client.compile(
+                    workload=case.workload,
+                    routing_paths=case.routing_paths,
+                    num_factories=case.num_factories,
+                )
+                latency.add(time.perf_counter() - begin)
+                sources[reply.source] = sources.get(reply.source, 0) + 1
+            warm_wall = time.perf_counter() - warm_start
+            report["warm"] = {
+                "requests": requests,
+                "total_wall": round(warm_wall, 4),
+                "rps": round(requests / warm_wall, 1) if warm_wall else None,
+                "sources": sources,
+                **latency.snapshot(),
+            }
+            note(
+                f"warm: {requests} requests in {warm_wall:.3f}s "
+                f"({report['warm']['rps']} req/s, "
+                f"p95 {report['warm']['p95_ms']}ms)"
+            )
+            if set(sources) - {"memo", "disk"}:
+                raise RuntimeError(f"warm phase recompiled: sources {sources}")
+
+        # -- coalesce burst ------------------------------------------------
+        workload, routing_paths, num_factories = _COALESCE_CASE
+
+        def one_burst_request(_: int) -> str:
+            with Client(host, port) as burst_client:
+                return burst_client.compile(
+                    workload=workload,
+                    routing_paths=routing_paths,
+                    num_factories=num_factories,
+                ).source
+
+        burst_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            burst_sources: List[str] = list(
+                pool.map(one_burst_request, range(clients))
+            )
+        burst_wall = time.perf_counter() - burst_start
+        compiled = burst_sources.count("compiled")
+        report["coalesce"] = {
+            "clients": clients,
+            "total_wall": round(burst_wall, 4),
+            "compiled": compiled,
+            "coalesced": burst_sources.count("coalesced"),
+            "cache_hits": burst_sources.count("memo")
+            + burst_sources.count("disk"),
+        }
+        note(
+            f"coalesce: {clients} concurrent identical requests -> "
+            f"{compiled} compilation(s)"
+        )
+        if compiled != 1:
+            raise RuntimeError(
+                f"coalesce burst compiled {compiled} times (want exactly 1)"
+            )
+
+        with Client(host, port) as client:
+            server_stats = client.stats()
+        # the cache path is machine-specific noise in a committed
+        # trajectory file — drop it from the persisted snapshot
+        if isinstance(server_stats.get("cache"), dict):
+            server_stats["cache"].pop("dir", None)
+        report["server"] = server_stats
+    return report
+
+
+def write_service_report(report: dict, path: str) -> None:
+    """Persist a service bench report as pretty sorted JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def service_report_text(report: dict) -> str:
+    """Human-readable digest of one service bench report."""
+    warm = report["warm"]
+    coalesce = report["coalesce"]
+    engine = report["server"]["engine"]
+    lines = [
+        f"cold : {len(report['cold']['cases'])} cases in "
+        f"{report['cold']['total_wall']:.3f}s",
+        f"warm : {warm['requests']} requests in {warm['total_wall']:.3f}s "
+        f"= {warm['rps']} req/s (p50 {warm['p50_ms']}ms, "
+        f"p95 {warm['p95_ms']}ms), 0 recompilations",
+        f"burst: {coalesce['clients']} identical concurrent requests -> "
+        f"{coalesce['compiled']} compiled, {coalesce['coalesced']} "
+        f"coalesced, {coalesce['cache_hits']} cache hits",
+        f"total compilations server-side: {engine['compiled']}",
+    ]
+    return "\n".join(lines)

@@ -289,8 +289,9 @@ def find_space(grid: Grid, target: Position) -> EvacuationPlan:
     """Clear the cheapest neighbouring cell of ``target`` (Fig. 6).
 
     Already-free neighbours cost zero moves; otherwise every neighbour's
-    occupant is tentatively evacuated on a cloned grid and the plan with
-    the fewest moves wins (ties broken by position for determinism).
+    occupant is tentatively evacuated inside a ``grid.scratch()`` overlay
+    (mutations rolled back in O(changes) on exit) and the plan with the
+    fewest moves wins (ties broken by position for determinism).
     """
     best: Optional[EvacuationPlan] = None
     for pos in sorted(grid.neighbors(target)):

@@ -1,0 +1,45 @@
+"""Compile-as-a-service layer on top of the sweep engine.
+
+The batch CLI treats compilation as a one-shot sweep; this package turns
+the same engine into a long-lived multi-client endpoint (``repro serve``):
+
+* :mod:`~repro.service.protocol` — the newline-delimited JSON wire
+  format, its stable error codes and the request/response builders;
+* :mod:`~repro.service.batcher` — :class:`CompileBroker`: coalesces
+  identical in-flight requests by content-addressed job key, serves warm
+  hits from the sweep cache with zero recompilation, sheds load beyond a
+  bounded in-flight queue, and keeps the per-endpoint metrics;
+* :mod:`~repro.service.server` — :class:`CompileService`, the asyncio
+  TCP server owning one persistent :class:`~repro.sweep.SweepEngine`
+  (worker pool + disk cache), plus :class:`ServiceThread` for running a
+  real server in-process (tests, benchmarks, smoke scripts);
+* :mod:`~repro.service.client` — :class:`Client`, the synchronous
+  request/response client scripts and tests talk through.
+
+Responses carry the same behavioural fingerprint the perf harness gates
+on, and the job keys are byte-identical to what ``repro compile`` /
+``repro.sweep.job_key`` compute locally — the service is a transport, not
+a different compiler.
+"""
+
+from .batcher import CompileBroker, OverloadedError, ServiceMetrics
+from .client import Client, CompileReply, ServiceError
+from .protocol import DEFAULT_PORT, ERROR_CODES, PROTOCOL_VERSION, ProtocolError
+from .server import DEFAULT_MAX_PENDING, CompileService, ServiceThread, run_server
+
+__all__ = [
+    "Client",
+    "CompileBroker",
+    "CompileReply",
+    "CompileService",
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_PORT",
+    "ERROR_CODES",
+    "OverloadedError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceThread",
+    "run_server",
+]

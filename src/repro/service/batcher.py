@@ -1,0 +1,244 @@
+"""Request coalescing, backpressure and metrics for the compile service.
+
+:class:`CompileBroker` sits between the connection handlers and one
+persistent :class:`~repro.sweep.SweepEngine`.  For every compile request
+it resolves, in order:
+
+1. **coalesce** — an identical request (same content-addressed job key)
+   is already in flight: piggyback on its future instead of compiling the
+   same job twice.  This is what makes a thundering herd of identical
+   requests cost one compilation.
+2. **warm hit** — the engine's memo or the on-disk sweep cache already
+   holds the result: serve it with zero recompilation.
+3. **compile** — dispatch to the engine's long-lived process pool, but
+   only while fewer than ``max_pending`` distinct jobs are in flight;
+   beyond that the broker sheds load with :class:`OverloadedError`
+   (surfaced to clients as the ``overloaded`` error code) rather than
+   queueing unboundedly.
+
+Engine calls that touch the disk cache or replay-validate a schedule run
+on the default thread executor so the event loop keeps serving other
+connections while they grind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..compiler.config import CompilerConfig
+from ..compiler.result import CompilationResult
+from ..ir.circuit import Circuit
+from ..sweep.jobs import job_key
+
+
+class OverloadedError(RuntimeError):
+    """The bounded in-flight compile queue is full; the request was shed."""
+
+
+class LatencyWindow:
+    """Percentiles over a sliding window of recent request latencies."""
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+
+    def add(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The ``fraction``-quantile (nearest-rank) in seconds, or None."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        # nearest-rank: the ceil(f*n)-th smallest sample (1-based)
+        rank = math.ceil(fraction * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, rank))]
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        def _ms(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value * 1000.0, 3)
+
+        return {
+            "samples": len(self._samples),
+            "p50_ms": _ms(self.percentile(0.50)),
+            "p95_ms": _ms(self.percentile(0.95)),
+        }
+
+
+class EndpointMetrics:
+    """Counters and latency window for one protocol op."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors: Dict[str, int] = {}
+        self.latency = LatencyWindow()
+
+    def record(self, wall: float, error_code: Optional[str] = None) -> None:
+        self.requests += 1
+        self.latency.add(wall)
+        if error_code is not None:
+            self.errors[error_code] = self.errors.get(error_code, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": dict(sorted(self.errors.items())),
+            **self.latency.snapshot(),
+        }
+
+
+class ServiceMetrics:
+    """Everything a ``stats`` response reports about this server process."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.connections = 0
+        self.endpoints: Dict[str, EndpointMetrics] = {}
+        # compile-specific resolution counters (sources + sheds)
+        self.coalesced = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.compiled = 0
+        self.overloaded = 0
+        self.validation_failures = 0
+
+    def endpoint(self, op: str) -> EndpointMetrics:
+        metrics = self.endpoints.get(op)
+        if metrics is None:
+            metrics = self.endpoints[op] = EndpointMetrics()
+        return metrics
+
+    def record_source(self, source: str) -> None:
+        if source == "coalesced":
+            self.coalesced += 1
+        elif source == "memo":
+            self.memo_hits += 1
+        elif source == "disk":
+            self.disk_hits += 1
+        elif source == "compiled":
+            self.compiled += 1
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests served without compiling (memo + disk)."""
+        return self.memo_hits + self.disk_hits
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "connections": self.connections,
+            "endpoints": {
+                op: metrics.snapshot()
+                for op, metrics in sorted(self.endpoints.items())
+            },
+            "compile": {
+                "coalesced": self.coalesced,
+                "memo_hits": self.memo_hits,
+                "disk_hits": self.disk_hits,
+                "cache_hits": self.cache_hits,
+                "compiled": self.compiled,
+                "overloaded": self.overloaded,
+                "validation_failures": self.validation_failures,
+            },
+        }
+
+
+class CompileBroker:
+    """Coalesces compile requests onto one persistent sweep engine.
+
+    Args:
+        engine: a :class:`~repro.sweep.SweepEngine` (persistent mode) — or
+            any object with its ``cached_result`` / ``submit`` / ``adopt``
+            trio, which is what the unit tests exploit.
+        max_pending: bound on *distinct* jobs compiling at once; requests
+            that would exceed it are shed with :class:`OverloadedError`.
+            Coalesced and cache-served requests never count against it.
+    """
+
+    def __init__(self, engine, max_pending: int = 32) -> None:
+        self.engine = engine
+        self.max_pending = max(0, int(max_pending))
+        self.metrics = ServiceMetrics()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._compiling = 0
+
+    @property
+    def pending(self) -> int:
+        """Distinct jobs currently compiling (cache lookups don't count)."""
+        return self._compiling
+
+    async def resolve(
+        self, circuit: Circuit, config: CompilerConfig
+    ) -> Tuple[CompilationResult, str, str]:
+        """Resolve one compile request to ``(result, source, key)``.
+
+        Raises :class:`OverloadedError` on backpressure shed and
+        :class:`~repro.verify.ValidationError` when the engine validates
+        and the schedule (fresh or cached) fails replay.
+        """
+        loop = asyncio.get_running_loop()
+        # keying hashes the whole gate stream — keep it off the event loop
+        key = await loop.run_in_executor(None, job_key, circuit, config)
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.metrics.record_source("coalesced")
+            # shield: one client disconnecting must not cancel the shared
+            # compilation other waiters (and the memo) depend on
+            result = await asyncio.shield(inflight)
+            return result, "coalesced", key
+
+        # register the shared future before the first await so an identical
+        # request arriving during the cache lookup coalesces instead of
+        # starting a duplicate resolution of the same key
+        shared: asyncio.Future = loop.create_future()
+        # a shed or abandoned future must not warn "exception never
+        # retrieved" when no coalesced waiter ever awaits it
+        shared.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = shared
+        try:
+            hit = await loop.run_in_executor(
+                None, self.engine.cached_result, circuit, config, key
+            )
+            if hit is not None:
+                result, source = hit
+                shared.set_result(result)
+                self.metrics.record_source(source)
+                return result, source, key
+
+            if self._compiling >= self.max_pending:
+                self.metrics.overloaded += 1
+                raise OverloadedError(
+                    f"{self._compiling} compile job(s) in flight "
+                    f"(max_pending={self.max_pending}); retry later"
+                )
+
+            self._compiling += 1
+            try:
+                payload = await asyncio.wrap_future(
+                    self.engine.submit(circuit, config), loop=loop
+                )
+                result = await loop.run_in_executor(
+                    None, self.engine.adopt, circuit, config, payload, key
+                )
+            finally:
+                self._compiling -= 1
+        except BaseException as exc:
+            if not shared.done():
+                shared.set_exception(exc)
+            raise
+        else:
+            if not shared.done():
+                shared.set_result(result)
+            self.metrics.record_source("compiled")
+            return result, "compiled", key
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,183 @@
+"""Synchronous client for the compile service.
+
+:class:`Client` speaks the JSON-lines protocol over one TCP connection,
+strict request/response.  It is what scripts, tests and the throughput
+benchmark use::
+
+    from repro.service import Client
+
+    with Client("127.0.0.1", 7787) as client:
+        reply = client.compile(workload="ising_2d_4x4", routing_paths=4)
+        print(reply.source, reply.fingerprint["makespan"])
+
+Failures the server reports (unknown workload, overload shed, replay
+validation rejection, ...) raise :class:`ServiceError` carrying the
+machine-readable ``code`` from :data:`repro.service.protocol.ERROR_CODES`
+and any structured ``details`` (a full validation report dict for
+``validation-failed``).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..compiler.result import CompilationResult
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the compile service.
+
+    Attributes:
+        code: stable error code (see :data:`repro.service.protocol.ERROR_CODES`).
+        details: optional structured payload (e.g. the
+            :class:`~repro.verify.ValidationReport` dict for
+            ``validation-failed``).
+    """
+
+    def __init__(
+        self, code: str, message: str, details: Optional[dict] = None
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.details = details
+
+
+@dataclass
+class CompileReply:
+    """One successful compile response, unpacked.
+
+    Attributes:
+        key: the content-addressed job key (identical to what
+            ``repro.sweep.job_key`` computes locally for the same job).
+        source: where the server resolved it — ``compiled``, ``coalesced``,
+            ``memo`` or ``disk``.
+        wall: server-side wall seconds for this request.
+        fingerprint: behavioural fingerprint (makespan / op counts / stats).
+        summary: headline metrics (execution time, qubits, t states, ...).
+        result: the full :class:`~repro.compiler.result.CompilationResult`
+            when the request asked for ``full=True``, else None.
+        raw: the complete response message.
+    """
+
+    key: str
+    source: str
+    wall: float
+    fingerprint: Dict[str, Any]
+    summary: Dict[str, Any]
+    result: Optional[CompilationResult] = None
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def warm(self) -> bool:
+        """True when the request cost zero compilations (memo/disk hit)."""
+        return self.source in ("memo", "disk")
+
+
+class Client:
+    """Blocking JSON-lines client, one request at a time.
+
+    Args:
+        host / port: the service address.
+        timeout: socket timeout in seconds for connect and each response
+            (compiles of large circuits can be slow — size accordingly).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, return the raw response dict.
+
+        Raises :class:`ServiceError` on ``ok: false`` responses and
+        :class:`ConnectionError` when the server hangs up mid-exchange.
+        """
+        self._sock.sendall(protocol.encode_line(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("compile service closed the connection")
+        response = protocol.decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", protocol.E_INTERNAL),
+                error.get("message", "unknown service error"),
+                error.get("details"),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------
+
+    def compile(
+        self,
+        workload: Optional[str] = None,
+        qasm_source: Optional[str] = None,
+        optimize: bool = False,
+        full: bool = False,
+        request_id: Optional[Any] = None,
+        **config: Any,
+    ) -> CompileReply:
+        """Compile a workload name or QASM source on the service.
+
+        Keyword arguments beyond the named ones are
+        :class:`~repro.compiler.config.CompilerConfig` overrides
+        (``routing_paths=6``, ``num_factories=2``, ...).
+        """
+        response = self.request(
+            protocol.compile_request(
+                workload=workload,
+                qasm_source=qasm_source,
+                config=config or None,
+                optimize=optimize,
+                full=full,
+                request_id=request_id,
+            )
+        )
+        result = None
+        if full and "result" in response:
+            result = CompilationResult.from_dict(response["result"])
+        return CompileReply(
+            key=response["key"],
+            source=response["source"],
+            wall=response["wall"],
+            fingerprint=response["fingerprint"],
+            summary=response["summary"],
+            result=result,
+            raw=response,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot (see the ``stats`` op)."""
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns version info."""
+        return self.request({"op": "ping"})
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (needs ``allow_shutdown``)."""
+        self.request({"op": "shutdown"})

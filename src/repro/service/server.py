@@ -1,0 +1,430 @@
+"""The asyncio compile server behind ``repro serve``.
+
+:class:`CompileService` owns one persistent
+:class:`~repro.sweep.SweepEngine` (long-lived worker pool + optional
+on-disk cache) and serves the JSON-lines protocol of
+:mod:`repro.service.protocol` over TCP.  Connection handlers are strict
+request/response: read a line, dispatch, write a line.  All compile
+resolution — coalescing, warm-cache hits, backpressure — lives in the
+:class:`~repro.service.batcher.CompileBroker`.
+
+Shutdown is graceful: ``stop()`` (or SIGINT/SIGTERM under
+:func:`run_server`, or a ``shutdown`` request) closes the listening
+socket, lets in-flight requests finish, then tears down the worker pool.
+
+:class:`ServiceThread` runs a whole service on a background thread with
+its own event loop — the harness tests, the throughput benchmark and the
+CI smoke script all use it to get a real TCP server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__
+from ..sweep import CompileCache, SweepEngine
+from ..verify import ValidationError
+from . import protocol
+from .batcher import CompileBroker, OverloadedError
+from .protocol import DEFAULT_PORT
+
+#: default bound on distinct in-flight compilations (per broker).
+DEFAULT_MAX_PENDING = 32
+
+#: sentinel returned by ``_read_request`` for an over-long request line.
+_TOO_LONG = object()
+
+#: ops with their own metrics bucket; anything else (including garbage a
+#: client invents) is recorded under "?" so the endpoints dict stays bounded.
+_KNOWN_OPS = ("compile", "stats", "ping", "shutdown")
+
+
+class CompileService:
+    """A compile-as-a-service front-end over the sweep engine.
+
+    Args:
+        host / port: bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`address` after :meth:`start`).
+        jobs: worker processes in the persistent compile pool.
+        cache: persistent result store shared with the batch CLI, or None
+            to keep results memo-only for this process's lifetime.
+        validate: replay-validate every response before it is sent
+            (fresh, memoed and disk-cached results alike); failures reach
+            the client as the structured ``validation-failed`` error.
+        max_pending: backpressure bound on distinct in-flight compiles.
+        allow_shutdown: honour the ``shutdown`` op (disable for servers
+            exposed beyond a trusted dev loop).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        jobs: int = 1,
+        cache: Optional[CompileCache] = None,
+        validate: bool = False,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        allow_shutdown: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.validate = validate
+        self.allow_shutdown = allow_shutdown
+        self.engine = SweepEngine(
+            jobs=jobs, cache=cache, validate=validate, persistent=True
+        )
+        self.broker = CompileBroker(self.engine, max_pending=max_pending)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._handlers: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actual bound (host, port) — call after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket (idempotent)."""
+        if self._server is not None:
+            return
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to drain and exit (threadsafe via its loop)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (or a ``shutdown`` request)."""
+        await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, let in-flight requests finish, tear the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._handlers:
+            # handlers notice the stopping event between requests and exit
+            # after answering whatever they are currently serving
+            await asyncio.gather(*tuple(self._handlers), return_exceptions=True)
+        # the pool shutdown joins worker processes; keep it off the loop
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.engine.shutdown
+        )
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.broker.metrics.connections += 1
+        self._handlers.add(asyncio.current_task())
+        try:
+            while True:
+                line = await self._read_request(reader)
+                if line is None:  # stopping — connection is idle, hang up
+                    break
+                if line is _TOO_LONG:
+                    writer.write(
+                        protocol.encode_line(
+                            protocol.error_response(
+                                protocol.E_BAD_REQUEST, "request line too long"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:  # client EOF
+                    break
+                response = await self._dispatch(line)
+                if "result" in response:
+                    # full-result payloads can be megabytes of JSON;
+                    # encode off the loop like the parse path
+                    data = await asyncio.get_running_loop().run_in_executor(
+                        None, protocol.encode_line, response
+                    )
+                else:
+                    data = protocol.encode_line(response)
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._handlers.discard(asyncio.current_task())
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Next request line, b'' on EOF, None on shutdown, _TOO_LONG on abuse.
+
+        Races the read against the stopping event so a graceful shutdown
+        does not wait on idle keep-alive connections (and never cancels a
+        request that already started dispatching).
+        """
+        read = asyncio.ensure_future(reader.readline())
+        stop = asyncio.ensure_future(self._stopping.wait())
+        try:
+            await asyncio.wait({read, stop}, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in (read, stop):
+                if not task.done():
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+        if not read.done() or read.cancelled():
+            return None
+        try:
+            return read.result()
+        except (asyncio.LimitOverrunError, ValueError):
+            return _TOO_LONG
+
+    async def _dispatch(self, line: bytes) -> Dict[str, Any]:
+        start = time.perf_counter()
+        op = "?"
+        error_code: Optional[str] = None
+        message: Optional[Dict[str, Any]] = None
+        try:
+            message = protocol.decode_line(line)
+            op = str(message.get("op", "?"))
+            if op == "compile":
+                response = await self._handle_compile(message, start)
+            elif op == "stats":
+                response = self._handle_stats()
+            elif op == "ping":
+                response = {
+                    "ok": True,
+                    "op": "ping",
+                    "version": __version__,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                }
+            elif op == "shutdown" and self.allow_shutdown:
+                response = {"ok": True, "op": "shutdown"}
+                self.request_stop()
+            else:
+                raise protocol.ProtocolError(
+                    protocol.E_BAD_REQUEST, f"unknown op {op!r}"
+                )
+        except protocol.ProtocolError as exc:
+            error_code = exc.code
+            response = protocol.error_response(exc.code, str(exc))
+        except OverloadedError as exc:
+            error_code = protocol.E_OVERLOADED
+            response = protocol.error_response(protocol.E_OVERLOADED, str(exc))
+        except ValidationError as exc:
+            error_code = protocol.E_VALIDATION
+            self.broker.metrics.validation_failures += 1
+            response = protocol.error_response(
+                protocol.E_VALIDATION,
+                exc.report.summary(),
+                details=exc.report.to_dict(),
+            )
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+            error_code = protocol.E_INTERNAL
+            response = protocol.error_response(
+                protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        wall = time.perf_counter() - start
+        metric_op = op if op in _KNOWN_OPS else "?"
+        self.broker.metrics.endpoint(metric_op).record(wall, error_code)
+        if message is not None and "id" in message:
+            response = {**response, "id": message["id"]}
+        return response
+
+    async def _handle_compile(
+        self, message: Dict[str, Any], start: float
+    ) -> Dict[str, Any]:
+        # parsing can mean megabytes of QASM — keep it off the event loop
+        loop = asyncio.get_running_loop()
+        circuit, config, full = await loop.run_in_executor(
+            None, protocol.parse_compile_request, message
+        )
+        result, source, key = await self.broker.resolve(circuit, config)
+        wall = time.perf_counter() - start
+        if full:
+            # symmetric to the parse path: serializing a whole result can
+            # be megabytes — build it off the loop too
+            return await loop.run_in_executor(
+                None, protocol.compile_response, result, key, source, wall, True
+            )
+        return protocol.compile_response(result, key, source, wall)
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        stats = self.broker.metrics.snapshot()
+        stats["engine"] = self.engine.counters.as_dict()
+        stats["pending"] = self.broker.pending
+        stats["max_pending"] = self.broker.max_pending
+        stats["jobs"] = self.engine.jobs
+        stats["validate"] = self.validate
+        if self.engine.cache is not None:
+            stats["cache"] = {
+                "dir": str(self.engine.cache.root),
+                "hits": self.engine.cache.hits,
+                "misses": self.engine.cache.misses,
+                "stores": self.engine.cache.stores,
+            }
+        else:
+            stats["cache"] = None
+        return {
+            "ok": True,
+            "op": "stats",
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "stats": stats,
+        }
+
+
+# -- blocking front-ends -------------------------------------------------------
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    jobs: int = 1,
+    cache: Optional[CompileCache] = None,
+    validate: bool = False,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    announce=None,
+) -> int:
+    """Run a compile service until SIGINT/SIGTERM (the ``repro serve`` body).
+
+    Returns a process exit code.  ``announce`` is called once with a
+    human-readable startup line.
+    """
+    import signal
+
+    async def _main() -> None:
+        service = CompileService(
+            host=host,
+            port=port,
+            jobs=jobs,
+            cache=cache,
+            validate=validate,
+            max_pending=max_pending,
+        )
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, service.request_stop)
+        if announce is not None:
+            bound_host, bound_port = service.address
+            cache_note = (
+                f"cache {service.engine.cache.root}"
+                if service.engine.cache is not None
+                else "no persistent cache"
+            )
+            announce(
+                f"repro compile service on {bound_host}:{bound_port} "
+                f"({service.engine.jobs} worker(s), {cache_note}"
+                f"{', replay-validating' if validate else ''})"
+            )
+        await service.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class ServiceThread:
+    """A compile service running on a dedicated background thread.
+
+    Usage::
+
+        with ServiceThread(jobs=2) as service:
+            client = Client(*service.address)
+            ...
+
+    The thread owns its own event loop; :meth:`stop` signals it and joins.
+    Used by the tests, the throughput benchmark and the CI smoke script.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        service_kwargs.setdefault("port", 0)
+        self._kwargs = service_kwargs
+        self._service: Optional[CompileService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                self._service = CompileService(**self._kwargs)
+                await self._service.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:
+                self._startup_error = exc
+                raise
+            finally:
+                self._ready.set()
+            await self._service.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:
+            if self._startup_error is None and not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self._service is None or self._loop is None:
+            raise RuntimeError("service failed to start (timeout)")
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._service is None:
+            raise RuntimeError("service is not started")
+        return self._service.address
+
+    @property
+    def service(self) -> CompileService:
+        if self._service is None:
+            raise RuntimeError("service is not started")
+        return self._service
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._service.request_stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -17,11 +17,20 @@ The engine is installed per run with :func:`use_engine`;
 ``experiments.runner`` falls back to a private serial engine when none is
 active, which keeps plain library calls (and the test suite) free of disk
 and process-pool side effects.
+
+Batch CLI runs use ephemeral engines whose pools live for one
+:meth:`SweepEngine.prefetch`.  The compile service instead constructs one
+``SweepEngine(..., persistent=True)`` and keeps it for the process
+lifetime: :meth:`SweepEngine.submit` / :meth:`SweepEngine.adopt` dispatch
+single jobs to the long-lived pool, :meth:`SweepEngine.cached_result`
+resolves warm hits without compiling, and :meth:`SweepEngine.shutdown`
+tears the pool down on exit.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -77,6 +86,12 @@ class SweepEngine:
             and config (once per job key, wherever it came from — fresh
             compile, worker, memo or disk, so cache corruption is caught
             too).  Raises :class:`~repro.verify.ValidationError`.
+        persistent: keep one long-lived worker pool alive across calls
+            instead of spinning a pool up per :meth:`prefetch`.  This is
+            the mode the compile service runs in: the pool is created
+            lazily on first use, :meth:`submit` dispatches single jobs to
+            it, and :meth:`shutdown` (or the context-manager exit) tears
+            it down.
     """
 
     def __init__(
@@ -84,13 +99,19 @@ class SweepEngine:
         jobs: int = 1,
         cache: Optional[CompileCache] = None,
         validate: bool = False,
+        persistent: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.validate = validate
+        self.persistent = bool(persistent)
         self.counters = SweepCounters()
         self._memo: Dict[str, CompilationResult] = {}
         self._validated: set = set()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # guards memo/counter mutation on the service paths, where
+        # cached_result/adopt run on multiple executor threads at once
+        self._lock = threading.Lock()
 
     def _check(
         self, circuit: Circuit, config: CompilerConfig, result: CompilationResult,
@@ -138,24 +159,38 @@ class SweepEngine:
             return self._check(circuit, config, hit, key)
         result = FaultTolerantCompiler(config).compile(circuit)
         self.counters.compiled += 1
+        # validate before persisting: an invalid schedule must never reach
+        # the memo or the shared disk cache, where a later non-validating
+        # run would trust it
+        self._check(circuit, config, result, key, fresh=True)
         self._remember(key, result)
-        return self._check(circuit, config, result, key, fresh=True)
+        return result
 
     def _lookup(self, key: str) -> Optional[CompilationResult]:
-        memo = self._memo.get(key)
-        if memo is not None:
-            self.counters.memo_hits += 1
-            return memo
+        hit = self._lookup_sourced(key)
+        return None if hit is None else hit[0]
+
+    def _lookup_sourced(
+        self, key: str
+    ) -> Optional[Tuple[CompilationResult, str]]:
+        """Memo/disk lookup returning ``(result, "memo" | "disk")``."""
+        with self._lock:
+            memo = self._memo.get(key)
+            if memo is not None:
+                self.counters.memo_hits += 1
+                return memo, "memo"
         if self.cache is not None:
-            cached = self.cache.load(key)
+            cached = self.cache.load(key)  # disk I/O stays outside the lock
             if cached is not None:
-                self.counters.disk_hits += 1
-                self._memo[key] = cached
-                return cached
+                with self._lock:
+                    self.counters.disk_hits += 1
+                    self._memo[key] = cached
+                return cached, "disk"
         return None
 
     def _remember(self, key: str, result: CompilationResult) -> None:
-        self._memo[key] = result
+        with self._lock:
+            self._memo[key] = result
         if self.cache is not None:
             self.cache.store(key, result)
 
@@ -167,6 +202,92 @@ class SweepEngine:
     def clear_memo(self) -> None:
         """Drop in-process results (the disk cache is untouched)."""
         self._memo.clear()
+
+    # -- long-lived service API ---------------------------------------------
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created lazily on first use.
+
+        Only available on engines constructed with ``persistent=True`` —
+        ephemeral engines deliberately keep their pools scoped to one
+        :meth:`prefetch` call so library users never leak processes.
+        """
+        if not self.persistent:
+            raise RuntimeError(
+                "pool() requires a persistent engine "
+                "(construct with SweepEngine(..., persistent=True))"
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def submit(self, circuit: Circuit, config: CompilerConfig) -> "Future[dict]":
+        """Dispatch one compile to the persistent pool.
+
+        Returns a future of the result's stable ``to_dict`` payload (the
+        same bytes the cache persists).  The caller is expected to hand
+        the payload back to :meth:`adopt`, which folds it into the memo,
+        the disk cache and the counters.  Cache lookup is *not* performed
+        here — pair with :meth:`cached_result` first.
+        """
+        return self.pool().submit(_compile_payload, (circuit, config))
+
+    def cached_result(
+        self,
+        circuit: Circuit,
+        config: CompilerConfig,
+        key: Optional[str] = None,
+    ) -> Optional[Tuple[CompilationResult, str]]:
+        """Resolve a job from memo or disk only; never compiles.
+
+        Returns ``(result, source)`` with source ``"memo"`` or ``"disk"``,
+        or None on a cold miss.  Validates the hit when the engine was
+        constructed with ``validate=True`` (catching cache corruption).
+        """
+        if key is None:
+            key = job_key(circuit, config)
+        hit = self._lookup_sourced(key)
+        if hit is None:
+            return None
+        result, source = hit
+        self._check(circuit, config, result, key)
+        return result, source
+
+    def adopt(
+        self,
+        circuit: Circuit,
+        config: CompilerConfig,
+        payload: dict,
+        key: Optional[str] = None,
+    ) -> CompilationResult:
+        """Fold a worker-produced ``to_dict`` payload into this engine.
+
+        Counts the compilation, memoises (and persists) the result, and
+        validates it when the engine validates.  This is the collection
+        half of :meth:`submit`, split out so an async caller can await
+        the worker future on its own event loop.
+        """
+        result = CompilationResult.from_dict(payload)
+        if key is None:
+            key = job_key(circuit, config)
+        with self._lock:
+            self.counters.compiled += 1
+        # validate before persisting (see :meth:`compile`)
+        self._check(circuit, config, result, key, fresh=True)
+        self._remember(key, result)
+        return result
+
+    def shutdown(self) -> None:
+        """Tear down the persistent pool (idempotent; memo survives)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     # -- batch API ----------------------------------------------------------
 
@@ -202,19 +323,25 @@ class SweepEngine:
                 if progress is not None:
                     progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
             return
-        workers = min(self.jobs, len(missing))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_compile_payload, (job.circuit, job.config))
-                for job in missing
-            ]
-            for job, future in zip(missing, futures):
-                result = CompilationResult.from_dict(future.result())
-                self.counters.compiled += 1
-                self._remember(job.key, result)
-                self._check(job.circuit, job.config, result, job.key, fresh=True)
-                if progress is not None:
-                    progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
+        if self.persistent:
+            self._collect(self.pool(), missing, progress)
+        else:
+            workers = min(self.jobs, len(missing))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                self._collect(pool, missing, progress)
+
+    def _collect(
+        self, pool: ProcessPoolExecutor, missing: List[CompileJob], progress
+    ) -> None:
+        """Fan ``missing`` out over ``pool`` and adopt results in plan order."""
+        futures = [
+            pool.submit(_compile_payload, (job.circuit, job.config))
+            for job in missing
+        ]
+        for job, future in zip(missing, futures):
+            self.adopt(job.circuit, job.config, future.result(), job.key)
+            if progress is not None:
+                progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
 
 
 # -- active engine ------------------------------------------------------------

@@ -1,4 +1,10 @@
-"""ASCII visualisation helpers."""
+"""ASCII visualisation helpers for grids, layouts and schedules.
+
+Debug-oriented renderers: :func:`render_grid` / :func:`render_layout`
+draw cell roles and occupancy, :func:`render_gantt` draws a schedule as a
+per-qubit timeline, and :func:`utilization_histogram` summarises how busy
+the routing fabric was.  Nothing here affects compilation.
+"""
 
 from .ascii_art import render_gantt, render_grid, render_layout, utilization_histogram
 

@@ -1,0 +1,80 @@
+"""The documentation must stay healthy: links resolve, examples execute.
+
+Runs the same checks as CI's docs job (``scripts/check_docs.py``) inside
+tier-1, plus negative cases proving the checker actually catches broken
+links, broken anchors and failing doctest blocks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+class TestRepoDocs:
+    def test_architecture_doc_exists_and_is_linked_from_readme(self):
+        assert (REPO_ROOT / "docs" / "architecture.md").is_file()
+        assert "docs/architecture.md" in (REPO_ROOT / "README.md").read_text()
+
+    def test_readme_documents_the_service_flags(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for flag in ("--jobs", "--cache-dir", "--validate", "--baseline",
+                     "--max-pending", "repro serve"):
+            assert flag in readme, f"README must document {flag}"
+
+    def test_all_docs_pass_link_and_doctest_checks(self):
+        problems = check_docs.run_checks(REPO_ROOT)
+        assert problems == []
+
+
+class TestCheckerCatchesProblems:
+    def test_broken_link_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](./nope.md) for details\n")
+        problems = check_docs.check_links(doc)
+        assert len(problems) == 1 and "broken link" in problems[0]
+
+    def test_broken_anchor_detected(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Real Heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [x](other.md#real-heading) and [y](other.md#fake)\n")
+        problems = check_docs.check_links(doc)
+        assert len(problems) == 1 and "broken anchor" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[x](https://example.com/nope) [y](mailto:a@b.c)\n")
+        assert check_docs.check_links(doc) == []
+
+    def test_failing_doctest_block_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```pycon\n>>> 1 + 1\n3\n```\n")
+        problems = check_docs.check_doctests(doc)
+        assert len(problems) == 1 and "doctest" in problems[0]
+
+    def test_passing_doctest_block_and_plain_blocks(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```pycon\n>>> 1 + 1\n2\n```\n"
+            "```python\nraise RuntimeError('not executed')\n```\n"
+            "```bash\nexit 1\n```\n"
+        )
+        assert check_docs.check_doctests(doc) == []
+
+    def test_anchor_slugging_matches_github(self):
+        assert check_docs.github_anchor("Run it as a service") == "run-it-as-a-service"
+        assert check_docs.github_anchor("The `sweep` engine (x/y)") == "the-sweep-engine-xy"
