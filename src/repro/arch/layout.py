@@ -213,18 +213,53 @@ def _default_ports(layout: Layout, max_ports: Optional[int] = None) -> List[Posi
     return [ring[int(i * step)] for i in range(count)]
 
 
+#: boundary bus cells that must stay port-free.  Ports become transit-only
+#: (no parking), so handing too many boundary bus cells to factories strips
+#: a small layout of its alignment/eviction room and wedges the scheduler
+#: on the first CNOT — found by the fuzzer on 1x2 through 3x3 data blocks
+#: with four factories at r=2.
+PORT_FREE_RESERVE = 2
+
+
+def _max_distinct_ports(ring_size: int) -> int:
+    """Distinct boundary cells factories may claim without bricking the grid.
+
+    Two constraints, both fuzzer-derived: keep an absolute reserve of
+    :data:`PORT_FREE_RESERVE` cells, and never port more than half the
+    ring — on r=2 layouts the ring is one edge plus a sliver, and porting
+    a whole edge leaves data-block corners with no eviction room.
+    """
+    return max(1, min(ring_size - PORT_FREE_RESERVE, ring_size // 2))
+
+
 def assign_factory_ports(layout: Layout, num_factories: int) -> List[Position]:
     """Pick one boundary port per factory, spread around the perimeter.
 
-    More factories than distinct boundary cells wrap around (two factories
-    may share a port, which then serialises their delivery — exactly the
-    congestion effect the paper's Fig. 9 measures).
+    More factories than the ring can safely port (see
+    :func:`_max_distinct_ports`) wrap around: two factories then share a
+    port, which serialises their delivery — exactly the congestion effect
+    the paper's Fig. 9 measures.
     """
     if num_factories < 1:
         raise LayoutError("need at least one factory")
     ring = _boundary_bus_cells(layout)
-    step = max(1, len(ring) // num_factories)
-    return [ring[(i * step) % len(ring)] for i in range(num_factories)]
+    distinct = min(num_factories, _max_distinct_ports(len(ring)))
+    step = max(1, len(ring) // distinct)
+    ports = [ring[(i * step) % len(ring)] for i in range(distinct)]
+    return [ports[i % distinct] for i in range(num_factories)]
+
+
+def port_headroom(layout: Layout, num_factories: int) -> int:
+    """Parkable bus cells left once ``num_factories`` ports are assigned.
+
+    The fabric's slack for alignment, eviction and magic-state drop-offs.
+    The fuzzer's architecture generator keeps this comfortably positive
+    (dense r=2 blocks with near-zero headroom can wedge the displacement
+    planner on long programs), and capacity planning can use it the same
+    way.
+    """
+    ports = set(assign_factory_ports(layout, num_factories))
+    return layout.num_bus - len(ports)
 
 
 def layout_family(num_data: int, r_values: Optional[List[int]] = None) -> List[Layout]:

@@ -1,0 +1,82 @@
+"""Pessimistic fully-serial execution estimate (fuzzing sanity ceiling).
+
+The paper's baselines (Litinski blocks, DASCOT, LSQCA) are *competitive*
+models — on some inputs they legitimately beat the compiler, so none of
+them can serve as a "the compiler is never worse than this" oracle.  This
+module provides the baseline that can: a deliberately pessimistic serial
+machine that
+
+* executes exactly one gate at a time, in program order;
+* before every gate, shuttles its operands across the whole grid and back
+  (``SERIAL_SHUTTLE_FACTOR * (rows + cols)`` move latencies — far beyond
+  what any real displacement chain costs);
+* distills magic states strictly serially on a single factory, regardless
+  of how many the configuration provisions.
+
+Any schedule the real compiler emits overlaps gates, routes along short
+paths and pipelines every provisioned factory, so its makespan must come
+in at or under this ceiling.  The fuzzing subsystem
+(:mod:`repro.fuzz.oracles`) asserts exactly that on every generated
+scenario; a breach means the scheduler went pathological (e.g. a livelock
+of evictions), which no per-op validity check would flag.
+"""
+
+from __future__ import annotations
+
+from ..arch.layout import Layout
+from ..compiler.config import CompilerConfig
+from ..ir import gates as g
+from ..ir.circuit import Circuit
+
+#: grid crossings charged per gate: operands shuttled to the far corner
+#: and back, twice over.  Generous by construction — see module docstring.
+SERIAL_SHUTTLE_FACTOR = 4
+
+
+def pessimistic_serial_time(
+    circuit: Circuit, config: CompilerConfig, layout: Layout
+) -> float:
+    """Makespan of the pessimistic serial machine, in units of d.
+
+    Args:
+        circuit: the program.
+        config: compiler configuration (latency model, synthesis model,
+            distillation time; the factory *count* is deliberately ignored
+            — serial distillation is the pessimism).
+        layout: the layout the real compiler targets (its grid dimensions
+            size the per-gate shuttling charge).
+    """
+    isa = config.instruction_set
+    synthesis = config.synthesis
+    distill = config.factory_config().distill_time
+    grid = layout.grid
+    # Per-gate movement allowance: perimeter crossings for the operands
+    # plus one full grid area of eviction-chain moves.  A single CNOT
+    # across a dense low-r block really does displace a cascade of
+    # bystanders (fuzzer-measured: 42 moves on a 5x5 grid), so the
+    # ceiling must scale with area, not just diameter.
+    shuttle = (
+        SERIAL_SHUTTLE_FACTOR * (grid.rows + grid.cols) + grid.rows * grid.cols
+    ) * isa.move
+
+    time = 0.0
+    states = 0
+    for gate in circuit:
+        if gate.name == g.BARRIER:
+            continue  # pure ordering; the serial machine is always ordered
+        if gate.is_pauli:
+            continue  # Pauli-frame update, free in both machines
+        if gate.is_t_like:
+            for _ in range(synthesis.t_cost(gate)):
+                states += 1
+                # serial single-factory pipeline: state k ready at k * t_MSF.
+                # The shuttle charge lands *after* the readiness wait: the
+                # real machine can pre-position operands while distillation
+                # runs, but it cannot route a state that does not exist yet,
+                # so delivery must be paid on top of the wait here for the
+                # ceiling to stay an upper bound (fuzzer-found, off by one
+                # port-to-qubit hop at distill_time=22).
+                time = max(time, states * distill) + shuttle + isa.t_consume
+        else:
+            time += shuttle + isa.duration(gate)
+    return time

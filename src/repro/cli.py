@@ -7,6 +7,7 @@ Usage::
     python -m repro experiment fig9 --fast --jobs 4
     python -m repro experiment all --fast
     python -m repro serve --jobs 4 --cache-dir ~/.cache/repro/sweep
+    python -m repro fuzz --seed 0 --iterations 200 --jobs 4
     python -m repro list
 
 The CLI is intentionally thin: it parses arguments, calls the library and
@@ -134,6 +135,34 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="bound on distinct in-flight compilations; "
                                 "beyond it requests are shed with the "
                                 "'overloaded' error code")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="fuzz the compiler against the differential conformance oracles",
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="scenario-stream seed (same seed = identical "
+                               "scenarios and verdicts)")
+    fuzz_cmd.add_argument("--iterations", "-n", type=int, default=200,
+                          help="scenarios to generate and check")
+    fuzz_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                          help="worker processes for the compile prefetch "
+                               "(also the jobs-N leg of the determinism oracle)")
+    fuzz_cmd.add_argument("--minimize", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="shrink failing scenarios and write "
+                               "self-contained JSON repros")
+    fuzz_cmd.add_argument("--artifact-dir", default="fuzz-repros",
+                          help="where repro artifacts are written "
+                               "(default ./fuzz-repros)")
+    fuzz_cmd.add_argument("--mutate", action="store_true",
+                          help="mutation self-test mode: inject every "
+                               "repro.verify corruption class into "
+                               "fuzz-generated schedules and require each "
+                               "to be caught")
+    fuzz_cmd.add_argument("--replay", metavar="ARTIFACT", default=None,
+                          help="re-run the oracle bundle on a saved repro "
+                               "artifact instead of fuzzing")
 
     sbench_cmd = sub.add_parser(
         "service-bench",
@@ -290,6 +319,34 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import replay_artifact, run_fuzz, run_mutation_fuzz
+
+    if args.replay is not None:
+        failures = replay_artifact(args.replay)
+        if failures:
+            print(f"{args.replay}: still failing")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"{args.replay}: green (every oracle passes)")
+        return 0
+    if args.mutate:
+        mutation = run_mutation_fuzz(args.seed, args.iterations, progress=print)
+        print(mutation.summary())
+        return 0 if mutation.ok else 1
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        jobs=args.jobs,
+        minimize=args.minimize,
+        artifact_dir=args.artifact_dir,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_service_bench(args) -> int:
     report = run_service_bench(
         jobs=args.jobs,
@@ -329,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
     if args.command == "list":

@@ -1,0 +1,72 @@
+"""Scenario fuzzer and differential conformance harness.
+
+Turns the validity engine (:mod:`repro.verify`) and the behavioural
+fingerprints of the sweep/service layers into a continuously expanding
+conformance suite: seeded generators produce random circuits x
+architectures x compiler configs (:mod:`repro.fuzz.generators`), every
+compiled schedule is held to a differential oracle bundle
+(:mod:`repro.fuzz.oracles`), failures shrink to minimal self-contained
+repros (:mod:`repro.fuzz.shrinker`, :mod:`repro.fuzz.artifact`), and the
+minimized cases graduate into ``tests/corpus/`` as ordinary regression
+tests.  Driven by ``repro fuzz`` (see :mod:`repro.fuzz.runner`).
+"""
+
+from .artifact import (
+    ARTIFACT_VERSION,
+    corpus_paths,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from .generators import (
+    KINDS,
+    Scenario,
+    config_from_dict,
+    config_to_dict,
+    generate_scenario,
+    scenario_key,
+)
+from .oracles import (
+    ORACLE_NAMES,
+    OracleFailure,
+    check_scenario,
+    compare_results,
+    static_oracles,
+)
+from .rng import FuzzRng, scenario_rng
+from .runner import (
+    FuzzReport,
+    FuzzVerdict,
+    MutationReport,
+    run_fuzz,
+    run_mutation_fuzz,
+)
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "FuzzReport",
+    "FuzzRng",
+    "FuzzVerdict",
+    "KINDS",
+    "MutationReport",
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "Scenario",
+    "ShrinkResult",
+    "check_scenario",
+    "compare_results",
+    "config_from_dict",
+    "config_to_dict",
+    "corpus_paths",
+    "generate_scenario",
+    "load_artifact",
+    "replay_artifact",
+    "run_fuzz",
+    "run_mutation_fuzz",
+    "scenario_key",
+    "scenario_rng",
+    "shrink",
+    "static_oracles",
+    "write_artifact",
+]

@@ -1,0 +1,116 @@
+"""Self-contained JSON repro artifacts and the committed regression corpus.
+
+When a fuzz run breaches an oracle, the runner writes one artifact per
+failing scenario: the (minimized) scenario in its portable form — QASM
+text plus config knobs — together with every oracle failure observed and
+the provenance needed to regenerate it (`seed`, `index`, the original
+pre-minimization key).  An artifact needs nothing but this repository to
+replay::
+
+    python -m repro fuzz --replay fuzz-repros/repro-<key>.json
+
+Artifacts that expose real bugs graduate into ``tests/corpus/``: once the
+bug is fixed the same file must replay *green*, and
+``tests/test_fuzz_corpus.py`` replays every committed case as an ordinary
+tier-1 test — the corpus is the fuzzer's regression memory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .generators import Scenario
+from .oracles import OracleFailure, check_scenario
+
+#: bump when the artifact layout changes incompatibly.
+ARTIFACT_VERSION = 1
+
+#: home of the regression corpus, anchored to the repository root (three
+#: levels above this file: src/repro/fuzz/ -> repo) so corpus discovery
+#: works from any working directory, not just the repo root.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def artifact_dict(
+    scenario: Scenario,
+    failures: Sequence[OracleFailure],
+    original: Optional[Scenario] = None,
+) -> Dict[str, Any]:
+    """The JSON payload for one repro (minimized scenario + provenance)."""
+    payload: Dict[str, Any] = {
+        "artifact_version": ARTIFACT_VERSION,
+        "key": scenario.key,
+        "scenario": scenario.to_dict(),
+        "failures": [failure.to_dict() for failure in failures],
+    }
+    if original is not None and original.key != scenario.key:
+        payload["original"] = {
+            "key": original.key,
+            "seed": original.seed,
+            "index": original.index,
+            "kind": original.kind,
+            "num_gates": len(original.circuit),
+            "num_qubits": original.circuit.num_qubits,
+        }
+    return payload
+
+
+def write_artifact(
+    directory: Union[str, Path],
+    scenario: Scenario,
+    failures: Sequence[OracleFailure],
+    original: Optional[Scenario] = None,
+) -> Path:
+    """Persist one repro under ``directory``; returns the file path.
+
+    The filename is content-addressed (``repro-<key[:16]>.json``), so
+    re-running a failing seed overwrites the same file instead of piling
+    up duplicates.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro-{scenario.key[:16]}.json"
+    with open(path, "w") as handle:
+        json.dump(
+            artifact_dict(scenario, failures, original=original),
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Tuple[Scenario, Dict[str, Any]]:
+    """Read one artifact back into ``(scenario, full_payload)``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("artifact_version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {version!r} not supported "
+            f"(expected {ARTIFACT_VERSION})"
+        )
+    return Scenario.from_dict(payload["scenario"]), payload
+
+
+def replay_artifact(path: Union[str, Path]) -> List[OracleFailure]:
+    """Re-run the full oracle bundle on a saved repro; returns failures.
+
+    An empty list means the case is green — for corpus files that is the
+    expected (and tested) outcome; for a fresh repro it means the bug no
+    longer reproduces on this tree.
+    """
+    scenario, _ = load_artifact(path)
+    _, failures = check_scenario(scenario)
+    return failures
+
+
+def corpus_paths(root: Union[str, Path, None] = None) -> List[Path]:
+    """Every committed corpus case, sorted for deterministic iteration."""
+    directory = Path(root) if root is not None else CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))

@@ -1,0 +1,93 @@
+"""Deterministic pseudo-random source for the fuzzing subsystem.
+
+The whole point of ``repro fuzz --seed S`` is that two runs with the same
+seed produce *identical* scenario streams and verdicts, on any platform
+and any Python version.  :mod:`random` guarantees neither across versions
+for all methods, so the fuzzer draws from this small splitmix64-based
+generator instead (the same policy as the LCGs in
+:mod:`repro.ir.circuit` and :mod:`repro.workloads.random_programs`).
+
+:meth:`FuzzRng.fork` derives an independent child stream from a string
+label, which is how scenario generation stays *prefix-stable*: scenario
+``i`` of seed ``S`` is the same circuit whether the run asks for 10
+iterations or 10,000.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, TypeVar
+
+_T = TypeVar("_T")
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class FuzzRng:
+    """splitmix64 generator with the handful of draws the fuzzer needs."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK
+
+    def next_u64(self) -> int:
+        """The next raw 64-bit draw."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def random(self) -> float:
+        """A float uniform in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def randint(self, low: int, high: int) -> int:
+        """A uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def choice(self, items: Sequence[_T]) -> _T:
+        """One uniformly chosen element."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_u64() % len(items)]
+
+    def weighted_choice(self, items: Sequence[_T], weights: Sequence[int]) -> _T:
+        """One element chosen with integer weights."""
+        if len(items) != len(weights) or not items:
+            raise ValueError("items and weights must be equal-length, non-empty")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        roll = self.next_u64() % total
+        for item, weight in zip(items, weights):
+            if roll < weight:
+                return item
+            roll -= weight
+        return items[-1]  # unreachable; appeases type checkers
+
+    def shuffle(self, items: List[_T]) -> List[_T]:
+        """In-place Fisher-Yates shuffle; returns ``items``."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_u64() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+        return items
+
+    def fork(self, label: str) -> "FuzzRng":
+        """An independent child generator derived from ``label``.
+
+        The child's seed hashes this generator's current state together
+        with the label; forking the same generator state with distinct
+        labels yields decorrelated, reproducible streams.
+        """
+        digest = hashlib.sha256(
+            f"{self._state:#x}|{label}".encode()
+        ).digest()
+        return FuzzRng(int.from_bytes(digest[:8], "big"))
+
+
+def scenario_rng(seed: int, index: int) -> FuzzRng:
+    """The canonical per-scenario generator: stable in (seed, index) only."""
+    return FuzzRng(seed).fork(f"scenario/{index}")

@@ -1,0 +1,252 @@
+"""Scenario minimizer: reduce a failing fuzz case to its essence.
+
+Given a scenario that breaches an oracle, the shrinker searches for the
+smallest scenario that *still breaches the same oracle*, by repeatedly
+trying reductions and keeping the ones that reproduce:
+
+1. **gate deletion** — ddmin-style: remove halves, then quarters, down to
+   single gates;
+2. **register compaction** — drop unused wires and renumber the rest;
+3. **config simplification** — walk every knob toward the library default
+   (one factory, r=2/3/4, grid mapping, paper distillation time, ...);
+4. **angle tidying** — replace exotic rotation angles with ``pi/4``.
+
+Every candidate is re-checked with the full oracle bundle
+(:func:`repro.fuzz.oracles.check_scenario`), so a reduction that merely
+trades one failure for a different oracle's is rejected — the minimized
+case demonstrably reproduces the original class of defect.  The search is
+deterministic (no randomness) and bounded by ``budget`` oracle checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..arch.instruction_set import InstructionSet
+from ..compiler.config import CompilerConfig
+from ..ir import gates as g
+from ..ir.circuit import Circuit
+from .generators import Scenario, feasible_routing_paths
+from .oracles import OracleFailure, check_scenario
+
+#: default ceiling on oracle checks during one minimization.
+DEFAULT_BUDGET = 300
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization run."""
+
+    scenario: Scenario          #: the smallest reproducing scenario found
+    failures: List[OracleFailure]  #: its failures (same anchor oracle)
+    checks: int                 #: oracle checks spent
+    reduced: bool               #: True when anything actually shrank
+
+    @property
+    def oracle(self) -> str:
+        return self.failures[0].oracle if self.failures else ""
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _with_gates(scenario: Scenario, gates: Sequence[g.Gate]) -> Scenario:
+    circuit = Circuit(scenario.circuit.num_qubits, name=scenario.circuit.name)
+    for gate in gates:
+        circuit.append(gate)
+    return replace(scenario, circuit=circuit, index=-1)
+
+
+def _fails_same(
+    scenario: Scenario, oracle: str, budget: _Budget
+) -> Optional[List[OracleFailure]]:
+    """The candidate's failures when it breaches ``oracle``, else None."""
+    if not budget.take():
+        return None
+    try:
+        _, failures = check_scenario(scenario)
+    except Exception:  # noqa: BLE001 — a broken candidate is just "no repro"
+        return None
+    if any(f.oracle == oracle for f in failures):
+        return failures
+    return None
+
+
+def _shrink_gates(scenario: Scenario, oracle: str, budget: _Budget):
+    """One round of ddmin chunk deletion.
+
+    Returns ``(smaller_scenario, its_failures)`` or None.
+    """
+    gates = list(scenario.circuit.gates)
+    if not gates:
+        return None
+    chunk = max(1, len(gates) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(gates):
+            candidate_gates = gates[:start] + gates[start + chunk:]
+            if len(candidate_gates) == len(gates):
+                break
+            candidate = _with_gates(scenario, candidate_gates)
+            failures = _fails_same(candidate, oracle, budget)
+            if failures is not None:
+                return candidate, failures
+            start += chunk
+        chunk //= 2
+    return None
+
+
+def _compact_qubits(scenario: Scenario) -> Optional[Scenario]:
+    """Renumber onto the used wires only (keeps at least two)."""
+    used = scenario.circuit.used_qubits()
+    width = max(2, len(used))
+    if width >= scenario.circuit.num_qubits:
+        return None
+    while len(used) < width:  # pad so the mapping stays total
+        extra = next(
+            q for q in range(scenario.circuit.num_qubits) if q not in used
+        )
+        used = sorted(used + [extra])
+    mapping = {old: new for new, old in enumerate(used)}
+    circuit = scenario.circuit.remap(mapping, num_qubits=width)
+    config = _refit_config(scenario.config, width)
+    return replace(scenario, circuit=circuit, config=config, index=-1)
+
+
+def _refit_config(config: CompilerConfig, num_qubits: int) -> CompilerConfig:
+    """Clamp the routing-path count to what the narrower register allows."""
+    r = feasible_routing_paths(num_qubits, config.routing_paths)
+    return config if r == config.routing_paths else config.with_(routing_paths=r)
+
+
+def _config_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Single-knob simplifications toward the library defaults."""
+    config = scenario.config
+    if config.num_factories != 1:
+        yield replace(scenario, config=config.with_(num_factories=1), index=-1)
+    for r in (2, 3, 4):
+        if r < config.routing_paths:
+            feasible = feasible_routing_paths(scenario.circuit.num_qubits, r)
+            if feasible != config.routing_paths:
+                yield replace(
+                    scenario,
+                    config=config.with_(routing_paths=feasible),
+                    index=-1,
+                )
+    if config.mapping != "grid":
+        yield replace(scenario, config=config.with_(mapping="grid"), index=-1)
+    if config.compute_unit_cost_time:
+        yield replace(
+            scenario, config=config.with_(compute_unit_cost_time=False), index=-1
+        )
+    if not config.lookahead:
+        yield replace(scenario, config=config.with_(lookahead=True), index=-1)
+    if not config.eliminate_redundant_moves:
+        yield replace(
+            scenario,
+            config=config.with_(eliminate_redundant_moves=True),
+            index=-1,
+        )
+    if config.factory_config().distill_time != 11.0:
+        yield replace(
+            scenario,
+            config=config.with_(instruction_set=InstructionSet.paper()),
+            index=-1,
+        )
+
+
+def _tidy_angles(scenario: Scenario) -> Optional[Scenario]:
+    """Replace every exotic rotation angle with pi/4."""
+    changed = False
+    gates: List[g.Gate] = []
+    for gate in scenario.circuit.gates:
+        if gate.param is not None and abs(gate.param - math.pi / 4) > 1e-12:
+            gates.append(g.Gate(gate.name, gate.qubits, param=math.pi / 4))
+            changed = True
+        else:
+            gates.append(gate)
+    if not changed:
+        return None
+    return _with_gates(scenario, gates)
+
+
+def shrink(
+    scenario: Scenario,
+    failures: Sequence[OracleFailure],
+    budget: int = DEFAULT_BUDGET,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while its first failing oracle keeps failing."""
+    if not failures:
+        raise ValueError("nothing to shrink: the scenario has no failures")
+    oracle = failures[0].oracle
+    tracker = _Budget(budget)
+    current = scenario
+    current_failures = list(failures)
+    reduced = False
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    improved = True
+    while improved and tracker.spent < tracker.limit:
+        improved = False
+
+        shrunk = _shrink_gates(current, oracle, tracker)
+        if shrunk is not None:
+            smaller, current_failures = shrunk
+            note(
+                f"[shrink] gates {len(current.circuit)} -> "
+                f"{len(smaller.circuit)}"
+            )
+            current, improved, reduced = smaller, True, True
+            continue
+
+        compacted = _compact_qubits(current)
+        if compacted is not None:
+            refreshed = _fails_same(compacted, oracle, tracker)
+            if refreshed is not None:
+                note(
+                    f"[shrink] qubits {current.circuit.num_qubits} -> "
+                    f"{compacted.circuit.num_qubits}"
+                )
+                current, current_failures = compacted, refreshed
+                improved = reduced = True
+                continue
+
+        for candidate in _config_candidates(current):
+            refreshed = _fails_same(candidate, oracle, tracker)
+            if refreshed is not None:
+                note("[shrink] simplified config")
+                current, current_failures = candidate, refreshed
+                improved = reduced = True
+                break
+        if improved:
+            continue
+
+        tidy = _tidy_angles(current)
+        if tidy is not None:
+            refreshed = _fails_same(tidy, oracle, tracker)
+            if refreshed is not None:
+                note("[shrink] tidied rotation angles")
+                current, current_failures = tidy, refreshed
+                improved = reduced = True
+
+    return ShrinkResult(
+        scenario=current,
+        failures=current_failures,
+        checks=tracker.spent,
+        reduced=reduced,
+    )

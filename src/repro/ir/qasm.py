@@ -58,17 +58,32 @@ def _eval_angle(text: str) -> float:
 
 
 def _format_angle(theta: float) -> str:
-    """Render an angle as a tidy multiple of pi when possible."""
+    """Render an angle as a tidy multiple of pi when that is *lossless*.
+
+    The tidy form is only used when evaluating it back reproduces the
+    exact float; anything else (subnormals, angles a hair off a pi
+    multiple) falls through to ``repr``, which round-trips bit-exactly —
+    the emitter must never change a circuit (fuzzer-found: a 1e-313
+    rotation used to serialise as ``0``).
+    """
     for denom in (1, 2, 3, 4, 6, 8, 16):
         ratio = theta * denom / math.pi
         if abs(ratio - round(ratio)) < 1e-10 and abs(ratio) < 64:
             num = int(round(ratio))
             if num == 0:
-                return "0"
+                # only +0.0 may collapse to "0": -0.0 compares equal but
+                # is a different float, so it goes through repr like any
+                # other angle the tidy form cannot reproduce bit-exactly
+                if theta == 0.0 and math.copysign(1.0, theta) > 0:
+                    return "0"
+                break  # tiny / negative zero: repr keeps it exact
             prefix = "-" if num < 0 else ""
             num = abs(num)
             head = "pi" if num == 1 else f"{num}*pi"
-            return f"{prefix}{head}" if denom == 1 else f"{prefix}{head}/{denom}"
+            text = f"{prefix}{head}" if denom == 1 else f"{prefix}{head}/{denom}"
+            if _eval_angle(text) == theta:
+                return text
+            break  # approximate match only: repr keeps it exact
     return f"{theta!r}"
 
 

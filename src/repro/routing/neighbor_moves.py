@@ -279,8 +279,11 @@ def plan_cnot_alignment(
         return min(plans, key=lambda p: p.num_moves)
 
     # Both operands boxed in: move the target toward the control along a
-    # penalised path, then retry recursively on the what-if grid.
-    if _depth >= 4:
+    # penalised path, then retry recursively on the what-if grid.  The
+    # depth bound only trips in states that cannot align at all; 6 gives
+    # heavily displaced low-r grids a few more single-hop retries
+    # (fuzzer-found: depth 4 gave up on a reachable alignment).
+    if _depth >= 6:
         raise AlignmentError(f"qubits {control},{target} wedged at {c_pos},{t_pos}")
     try:
         path = find_path(
@@ -291,8 +294,43 @@ def plan_cnot_alignment(
         raise AlignmentError(f"qubits {control},{target} unroutable") from exc
     if path.num_moves < 2:
         raise AlignmentError(f"qubits {control},{target} wedged at {c_pos},{t_pos}")
-    prefix_cells = path.cells[: max(2, len(path.cells) // 2)]
-    moves = _walk_path(grid, target, _truncate(path, len(prefix_cells)))
+    # Walk the longest walkable prefix of the half-path — demanding the
+    # whole prefix made one mid-path bystander a hard failure even when
+    # the first hop alone (plus the recursive retry) could untangle the
+    # position (fuzzer-found on a dense r=2 grid).  Any progress >= one
+    # move is enough for the recursion to make headway.
+    moves = None
+    for length in range(max(2, len(path.cells) // 2), 1, -1):
+        moves = _walk_path(grid, target, _truncate(path, length))
+        if moves is not None:
+            break
+    if moves is None:
+        # The path's first hop itself is blocked: sidestep to any free
+        # neighbour that gets no further from the control and retry — on
+        # dense grids the best route is sometimes around, not through.
+        current = Grid.manhattan(t_pos, c_pos)
+        for dist, nbr in sorted(
+            (Grid.manhattan(nbr, c_pos), nbr)
+            for nbr in grid.free_neighbors(t_pos)
+        ):
+            if dist <= current:
+                moves = [(target, t_pos, nbr)]
+            break  # only the best-ranked neighbour avoids oscillation
+    if moves is None:
+        # Boxed in completely: push the first path blocker one cell aside
+        # and step into its place — a single-level displacement the ladder
+        # above cannot express because the blocker sits mid-route, not on
+        # a goal slot (fuzzer-found on a half-ported r=2 grid).
+        blocker_cell = path.cells[1]
+        blocker = grid.occupant(blocker_cell)
+        if blocker is not None and blocker != control:
+            for spill in grid.free_neighbors(blocker_cell):
+                if spill != t_pos:
+                    moves = [
+                        (blocker, blocker_cell, spill),
+                        (target, t_pos, blocker_cell),
+                    ]
+                    break
     if moves is None:
         raise AlignmentError(f"qubits {control},{target} wedged (no partial path)")
     with grid.scratch() as scratch:

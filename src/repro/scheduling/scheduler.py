@@ -581,18 +581,30 @@ class LatticeSurgeryScheduler:
         self._execute_moves(moves, self._qubit_free.get(qubit, 0.0),
                             gate_index=node.index)
 
-    def _surface_qubit(self, qubit: int, cursor: float, node: DagNode) -> float:
+    def _surface_qubit(
+        self, qubit: int, cursor: float, node: DagNode
+    ) -> Optional[float]:
         """Walk ``qubit`` to the nearest free region (small-r fallback).
 
         Used when a magic state cannot be delivered into a deeply buried
         position: the consumer comes to the state instead of the state
-        fighting through the whole data block.
+        fighting through the whole data block.  Returns the new cursor, or
+        None when every refuge walk is blocked by bystanders — the caller
+        then falls back to swap-through delivery rather than giving up
+        (fuzzer-found: raising here wedged dense r=2 blocks whose ports
+        pinned the escape lanes).
         """
         pos = self.grid.position_of(qubit)
-        candidates = reachable_free_cells(self.grid, pos, limit=6)
-        for __, refuge in candidates[:6]:
-            if not self.grid.parkable(refuge):
-                continue
+        # The parkable filter must be the BFS predicate, not a post-filter:
+        # with ``limit`` counting every free routable cell, a cluster of
+        # factory ports (routable, never parkable) near the qubit could
+        # fill the whole window and starve the search while perfectly good
+        # refuges sat one ring further out (fuzzer-found at r=2 with four
+        # factories).
+        candidates = reachable_free_cells(
+            self.grid, pos, predicate=self.grid.parkable, limit=6
+        )
+        for __, refuge in candidates:
             try:
                 path = find_path(
                     self.grid,
@@ -605,7 +617,42 @@ class LatticeSurgeryScheduler:
             if moves is None:
                 continue
             return self._execute_moves(moves, cursor, gate_index=node.index)
-        raise SchedulingError(f"qubit {qubit} cannot reach free space")
+        return None
+
+    def _clear_port(self, port: Position, cursor: float, node: DagNode) -> float:
+        """Shove a squatting data qubit off a factory port.
+
+        Ports are transit-only, but swap-through deliveries shift crossed
+        qubits one cell toward the port — and when a qubit gets crossed
+        twice in one transit, the post-consume restore skips it (its
+        recorded origin no longer matches) and it can end up parked on the
+        port itself, bricking the factory for every later state
+        (fuzzer-found at r=2 with four factories).  Any squatter is
+        transient by construction, so evicting it to the nearest parkable
+        refuge is always semantically safe.
+        """
+        squatter = self.grid.occupant(port)
+        if squatter is None:
+            return cursor
+        candidates = reachable_free_cells(
+            self.grid, port, predicate=self.grid.parkable, limit=6
+        )
+        for __, refuge in candidates:
+            try:
+                path = find_path(
+                    self.grid,
+                    RoutingRequest(source=port, destination=refuge,
+                                   allow_occupied=True),
+                )
+            except NoPathError:
+                continue
+            moves = _walk_path(self.grid, squatter, path)
+            if moves is None:
+                continue
+            return self._execute_moves(
+                moves, cursor, kind="evict", gate_index=node.index
+            )
+        return cursor  # leave it; delivery will fail with its own error
 
     def _schedule_t_like(self, node: DagNode) -> None:
         """T / Tdg / non-Clifford rotation: consume magic state(s)."""
@@ -636,22 +683,29 @@ class LatticeSurgeryScheduler:
 
         ready, factory = self.bank.acquire(cursor)
         self.stats.magic_states += 1
+        cursor = self._clear_port(factory.port, cursor, node)
         drop, transit = self._route_magic_state(factory.port, qubit, goals)
         if drop is None:
             # Deeply buried consumer (very small r): bring the data qubit
-            # itself toward free space, then retry the delivery.
-            cursor = self._surface_qubit(qubit, cursor, node)
-            pos = self.grid.position_of(qubit)
-            goals = {
-                p for p in self.grid.free_neighbors(pos) if self.grid.routable(p)
-            }
-            if not goals:
-                plan = find_space(self.grid, pos)
-                cursor = self._execute_moves(plan.moves, cursor, kind="evict",
-                                             gate_index=node.index)
-                space_moves += list(plan.moves)
-                goals = {plan.freed_cell}
-            drop, transit = self._route_magic_state(factory.port, qubit, goals)
+            # itself toward free space, then retry the delivery.  When the
+            # qubit cannot move either, keep the original goals and let the
+            # swap-through fallback below force a lane.
+            surfaced = self._surface_qubit(qubit, cursor, node)
+            if surfaced is not None:
+                cursor = surfaced
+                pos = self.grid.position_of(qubit)
+                goals = {
+                    p
+                    for p in self.grid.free_neighbors(pos)
+                    if self.grid.routable(p)
+                }
+                if not goals:
+                    plan = find_space(self.grid, pos)
+                    cursor = self._execute_moves(plan.moves, cursor, kind="evict",
+                                                 gate_index=node.index)
+                    space_moves += list(plan.moves)
+                    goals = {plan.freed_cell}
+                drop, transit = self._route_magic_state(factory.port, qubit, goals)
         if drop is None:
             # Guaranteed-progress fallback for extreme layouts (r=2): the
             # state swaps *through* the data block.  Each occupied crossing

@@ -291,13 +291,25 @@ class SweepEngine:
 
     # -- batch API ----------------------------------------------------------
 
-    def prefetch(self, jobs: Sequence[CompileJob], progress=None) -> None:
+    def prefetch(
+        self,
+        jobs: Sequence[CompileJob],
+        progress=None,
+        tolerant: bool = False,
+    ) -> None:
         """Materialise every job into the memo, compiling misses in parallel.
 
         Jobs are deduped first; misses are dispatched to a process pool in
         plan order and collected in the same order, so the memo's contents
         never depend on worker timing.  After ``prefetch`` returns, table
         construction hits the memo only and stays deterministic.
+
+        ``tolerant=True`` skips jobs whose compile raises instead of
+        aborting the whole batch — the fuzz runner uses it so one crashing
+        scenario does not discard every other scenario's parallel compile
+        (the crash is re-found and attributed when the scenario is checked
+        individually).  Batch experiment runs keep the default fail-fast
+        behaviour.
         """
         plan = plan_jobs(jobs)
         missing: List[CompileJob] = []
@@ -316,7 +328,12 @@ class SweepEngine:
             return
         if self.jobs == 1 or len(missing) == 1:
             for job in missing:
-                result = FaultTolerantCompiler(job.config).compile(job.circuit)
+                try:
+                    result = FaultTolerantCompiler(job.config).compile(job.circuit)
+                except Exception:
+                    if not tolerant:
+                        raise
+                    continue
                 self.counters.compiled += 1
                 self._remember(job.key, result)
                 self._check(job.circuit, job.config, result, job.key, fresh=True)
@@ -324,14 +341,18 @@ class SweepEngine:
                     progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
             return
         if self.persistent:
-            self._collect(self.pool(), missing, progress)
+            self._collect(self.pool(), missing, progress, tolerant)
         else:
             workers = min(self.jobs, len(missing))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                self._collect(pool, missing, progress)
+                self._collect(pool, missing, progress, tolerant)
 
     def _collect(
-        self, pool: ProcessPoolExecutor, missing: List[CompileJob], progress
+        self,
+        pool: ProcessPoolExecutor,
+        missing: List[CompileJob],
+        progress,
+        tolerant: bool = False,
     ) -> None:
         """Fan ``missing`` out over ``pool`` and adopt results in plan order."""
         futures = [
@@ -339,7 +360,13 @@ class SweepEngine:
             for job in missing
         ]
         for job, future in zip(missing, futures):
-            self.adopt(job.circuit, job.config, future.result(), job.key)
+            try:
+                payload = future.result()
+            except Exception:
+                if not tolerant:
+                    raise
+                continue  # the per-job check re-finds and attributes it
+            self.adopt(job.circuit, job.config, payload, job.key)
             if progress is not None:
                 progress(f"compiled {job.tag or 'job'} {job.key[:12]}")
 

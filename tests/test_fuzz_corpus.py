@@ -1,0 +1,46 @@
+"""Replay every committed fuzz corpus case as an ordinary tier-1 test.
+
+``tests/corpus/`` holds minimized repro artifacts from fuzz campaigns
+whose underlying defect has been fixed; each must replay *green* — the
+full oracle bundle (compile, replay validation, lower bound, metrics,
+serialization, baseline ceiling, determinism) passes — forever after.
+A red replay here means a fixed bug regressed.
+
+Workflow for adding a case (see docs/architecture.md, "Fuzzing &
+conformance"): a failing ``repro fuzz`` run leaves a minimized artifact
+under ``fuzz-repros/``; fix the bug, confirm
+``repro fuzz --replay <artifact>`` is green, then commit the file here
+under a descriptive name.
+"""
+
+import pytest
+
+from repro.fuzz import load_artifact, replay_artifact
+from repro.fuzz.artifact import corpus_paths
+
+CASES = corpus_paths()
+
+
+def test_corpus_is_not_empty():
+    assert CASES, "tests/corpus/ must hold at least one minimized repro"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_replays_green(path):
+    failures = replay_artifact(path)
+    assert failures == [], (
+        f"{path.name} regressed: "
+        + "; ".join(str(f) for f in failures)
+    )
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_is_well_formed(path):
+    scenario, payload = load_artifact(path)
+    # the stored key must match the scenario content (guards hand edits)
+    assert payload["key"] == scenario.key
+    # every recorded failure names a known oracle
+    from repro.fuzz import ORACLE_NAMES
+
+    for failure in payload["failures"]:
+        assert failure["oracle"] in ORACLE_NAMES

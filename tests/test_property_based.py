@@ -13,8 +13,12 @@ from repro.ir.circuit import Circuit, random_clifford_t
 from repro.ir.dag import DagCircuit, ReadyFrontier
 from repro.routing.dijkstra import NoPathError, RoutingRequest, find_path
 from repro.scheduling.events import Schedule, ScheduledOp
-from repro.scheduling.resim import resimulate
+from repro.scheduling.resim import optimize_schedule, resimulate
 from repro.synthesis.pauli import PauliString
+from repro.workloads.random_programs import (
+    random_mixed_stream,
+    random_rotation_layers,
+)
 
 # -- strategies -------------------------------------------------------------
 
@@ -39,6 +43,27 @@ def small_circuits(draw):
     num_gates = draw(st.integers(min_value=0, max_value=25))
     seed = draw(st.integers(min_value=0, max_value=10_000))
     return random_clifford_t(num_qubits, num_gates, seed=seed)
+
+
+@st.composite
+def fuzz_programs(draw):
+    """Fuzz-family circuits: full gate set, barriers, angles, measure tails."""
+    num_qubits = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    if draw(st.booleans()):
+        return random_mixed_stream(
+            num_qubits,
+            draw(st.integers(min_value=0, max_value=30)),
+            seed=seed,
+            barrier_every=draw(st.sampled_from([None, 3, 7])),
+            measure_tail=draw(st.booleans()),
+        )
+    return random_rotation_layers(
+        num_qubits,
+        draw(st.integers(min_value=0, max_value=6)),
+        seed=seed,
+        barrier_between=draw(st.booleans()),
+    )
 
 
 # -- Pauli algebra ----------------------------------------------------------
@@ -238,3 +263,260 @@ class TestResimProperties:
         once = resimulate(Schedule(ops))
         twice = resimulate(once)
         assert [op.start for op in once.ops] == [op.start for op in twice.ops]
+
+
+# -- full scheduling-stage optimisation (prune + re-time) ----------------------
+
+
+@st.composite
+def mixed_schedules(draw):
+    """Random schedules mixing gates, moves and inverse move pairs."""
+    ops = []
+    uid = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        roll = draw(st.integers(0, 2))
+        qubit = draw(st.integers(0, 3))
+        start = float(draw(st.integers(0, 30)))
+        if roll == 0:  # plain gate
+            ops.append(
+                ScheduledOp(
+                    uid=uid, kind="gate", name="h", qubits=(qubit,),
+                    cells=((0, qubit),), start=start,
+                    duration=float(draw(st.integers(1, 3))),
+                    min_start=float(draw(st.integers(0, 10))),
+                )
+            )
+            uid += 1
+        else:
+            a = (draw(st.integers(0, 3)), draw(st.integers(0, 3)))
+            b = (draw(st.integers(0, 3)), draw(st.integers(0, 3)))
+            if a == b:
+                continue
+            ops.append(
+                ScheduledOp(
+                    uid=uid, kind="move", name=g.MOVE, qubits=(qubit,),
+                    cells=(a, b), start=start, duration=1.0,
+                )
+            )
+            uid += 1
+            if roll == 2:  # immediately undone: an inverse pair to prune
+                ops.append(
+                    ScheduledOp(
+                        uid=uid, kind="move", name=g.MOVE, qubits=(qubit,),
+                        cells=(b, a), start=start + 1.0, duration=1.0,
+                    )
+                )
+                uid += 1
+    return Schedule(ops=ops)
+
+
+class TestOptimizeScheduleProperties:
+    @given(mixed_schedules())
+    @settings(max_examples=40)
+    def test_optimize_schedule_idempotent(self, schedule):
+        once, _ = optimize_schedule(schedule)
+        twice, second_report = optimize_schedule(once)
+        assert [op.to_dict() for op in twice.ops] == [
+            op.to_dict() for op in once.ops
+        ]
+        # a second pass finds nothing left to remove
+        assert second_report.moves_removed == 0
+
+    @given(mixed_schedules())
+    @settings(max_examples=40)
+    def test_optimize_never_worsens_makespan_or_violates_floors(self, schedule):
+        optimised, _ = optimize_schedule(schedule)
+        baseline = resimulate(schedule)
+        assert optimised.makespan <= baseline.makespan + 1e-9
+        for op in optimised.ops:
+            assert op.start >= op.min_start
+
+    @given(fuzz_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_optimize_schedule_converges_on_compiled_schedules(self, qc):
+        # Re-timing can make a previously separated inverse move pair
+        # adjacent, so one pass is not always a fixpoint on real compiled
+        # schedules (the pipeline deliberately runs a single pass — its
+        # output is the pinned behavioural fingerprint).  What must hold:
+        # repeated application converges in a few rounds, monotonically,
+        # to a genuinely stable schedule.
+        from repro.compiler.pipeline import FaultTolerantCompiler
+        from repro.compiler.config import CompilerConfig
+
+        result = FaultTolerantCompiler(
+            CompilerConfig(routing_paths=3)
+        ).compile(qc)
+        schedule = result.schedule
+        makespan = schedule.makespan
+        for _ in range(5):
+            schedule, report = optimize_schedule(schedule)
+            assert schedule.makespan <= makespan + 1e-9
+            makespan = schedule.makespan
+            if report.moves_removed == 0:
+                break
+        else:
+            raise AssertionError("no fixpoint within 5 optimisation rounds")
+        again, final_report = optimize_schedule(schedule)
+        assert final_report.moves_removed == 0
+        assert [op.to_dict() for op in again.ops] == [
+            op.to_dict() for op in schedule.ops
+        ]
+
+
+# -- grid scratch/undo ---------------------------------------------------------
+
+
+def _grid_state(grid):
+    """Full observable state: roles, occupancy, positions, epoch."""
+    return (
+        list(grid._role),
+        list(grid._occ),
+        dict(grid.placed_qubits()),
+        grid.epoch,
+    )
+
+
+@st.composite
+def scratch_scripts(draw):
+    """A populated grid plus a random mutation script to run in scratch."""
+    rows = draw(st.integers(min_value=2, max_value=5))
+    cols = draw(st.integers(min_value=2, max_value=5))
+    grid = Grid(rows, cols)
+    placed = draw(
+        st.lists(
+            st.tuples(st.integers(0, rows - 1), st.integers(0, cols - 1)),
+            max_size=rows * cols - 1, unique=True,
+        )
+    )
+    for qubit, pos in enumerate(placed):
+        grid.place(qubit, pos)
+    script = draw(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 10_000)), max_size=12)
+    )
+    return grid, script
+
+
+def _apply_script(grid, script):
+    """Replay (op-code, raw) pairs as whatever mutations are legal now."""
+    from repro.arch.grid import CellRole, GridError
+
+    roles = [CellRole.BUS, CellRole.DATA, CellRole.FACTORY, CellRole.PORT]
+    for code, raw in script:
+        placed = sorted(grid.placed_qubits())
+        all_cells = [(r, c) for r in range(grid.rows) for c in range(grid.cols)]
+        free = [p for p in all_cells if grid.occupant(p) is None]
+        try:
+            if code == 0 and free:
+                grid.place(1000 + raw, free[raw % len(free)])
+            elif code == 1 and placed:
+                grid.remove(placed[raw % len(placed)])
+            elif code == 2 and placed and free:
+                grid.move(placed[raw % len(placed)], free[raw % len(free)])
+            elif code == 3:
+                grid.set_role(
+                    all_cells[raw % len(all_cells)], roles[raw % len(roles)]
+                )
+        except GridError:
+            pass  # illegal for the current state; the script just skips it
+
+
+class TestGridScratchProperties:
+    @given(scratch_scripts())
+    @settings(max_examples=50)
+    def test_scratch_rollback_restores_exact_state(self, grid_and_script):
+        grid, script = grid_and_script
+        before = _grid_state(grid)
+        with grid.scratch() as scratch:
+            _apply_script(scratch, script)
+        assert _grid_state(grid) == before
+
+    @given(scratch_scripts(), scratch_scripts())
+    @settings(max_examples=25)
+    def test_nested_scratch_rolls_back_lifo(self, outer_case, inner_case):
+        grid, outer_script = outer_case
+        _, inner_script = inner_case
+        before = _grid_state(grid)
+        with grid.scratch() as s1:
+            _apply_script(s1, outer_script)
+            mid = _grid_state(grid)
+            with grid.scratch() as s2:
+                _apply_script(s2, inner_script)
+            assert _grid_state(grid) == mid
+        assert _grid_state(grid) == before
+
+    @given(scratch_scripts())
+    @settings(max_examples=25)
+    def test_epoch_distinguishes_every_distinct_state(self, grid_and_script):
+        # inside scratch, any actual mutation must change the epoch; after
+        # rollback the entry epoch is restored (same epoch = same state)
+        grid, script = grid_and_script
+        entry_epoch = grid.epoch
+        with grid.scratch() as scratch:
+            occ_before = list(scratch._occ)
+            roles_before = list(scratch._role)
+            _apply_script(scratch, script)
+            mutated = (
+                occ_before != list(scratch._occ)
+                or roles_before != list(scratch._role)
+            )
+            if mutated:
+                assert scratch.epoch != entry_epoch
+        assert grid.epoch == entry_epoch
+
+
+# -- QASM round-trips on fuzz-generated programs -------------------------------
+
+
+class TestQasmFuzzRoundTrip:
+    @given(fuzz_programs())
+    @settings(max_examples=50)
+    def test_exact_gate_stream_round_trip(self, qc):
+        recovered = qasm.loads(qasm.dumps(qc))
+        assert recovered.num_qubits == qc.num_qubits
+        assert list(recovered.gates) == list(qc.gates)
+
+    @given(fuzz_programs())
+    @settings(max_examples=25)
+    def test_dumps_is_a_fixpoint(self, qc):
+        text = qasm.dumps(qc)
+        assert qasm.dumps(qasm.loads(text)) == text
+
+    @given(st.data())
+    @settings(max_examples=50)
+    def test_angle_round_trip_exact(self, data):
+        theta = data.draw(
+            st.one_of(
+                st.sampled_from(
+                    [math.pi / 4, -math.pi / 2, 3 * math.pi / 4, math.pi / 8,
+                     7 * math.pi / 4, 2 * math.pi, 0.3, -1.234567]
+                ),
+                st.floats(
+                    min_value=-10.0, max_value=10.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            )
+        )
+        qc = Circuit(2).rz(theta, 0).rx(theta, 1)
+        recovered = qasm.loads(qasm.dumps(qc))
+        assert [gate.param for gate in recovered] == [theta, theta]
+
+    def test_zero_sign_round_trips(self):
+        # -0.0 == 0.0 under ==, so only a sign check catches an emitter
+        # that collapses negative zero to "0"
+        qc = Circuit(2).rz(-0.0, 0).rz(0.0, 1)
+        recovered = qasm.loads(qasm.dumps(qc))
+        signs = [math.copysign(1.0, gate.param) for gate in recovered]
+        assert signs == [-1.0, 1.0]
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_barrier_forms_round_trip(self, data):
+        qc = Circuit(4)
+        qc.h(0)
+        qubits = data.draw(
+            st.lists(st.integers(0, 3), max_size=4, unique=True)
+        )
+        qc.barrier(*qubits)  # empty = whole register
+        qc.cx(2, 3)
+        recovered = qasm.loads(qasm.dumps(qc))
+        assert list(recovered.gates) == list(qc.gates)
