@@ -8,6 +8,7 @@ Usage::
     python -m repro experiment all --fast
     python -m repro serve --jobs 4 --cache-dir ~/.cache/repro/sweep
     python -m repro fuzz --seed 0 --iterations 200 --jobs 4
+    python -m repro chaos --seed 0 --scenarios 200
     python -m repro list
 
 The CLI is intentionally thin: it parses arguments, calls the library and
@@ -135,6 +136,22 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="bound on distinct in-flight compilations; "
                                 "beyond it requests are shed with the "
                                 "'overloaded' error code")
+    serve_cmd.add_argument("--queue-wait", type=float, default=0.0,
+                           help="seconds a request may wait for a compile "
+                                "slot before being shed (default 0: shed "
+                                "immediately)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=None,
+                           help="server-side bound on any single request, "
+                                "admission to response (seconds; expiry "
+                                "answers with the 'timeout' error code)")
+    serve_cmd.add_argument("--job-deadline", type=float, default=None,
+                           help="per-attempt compile deadline; a worker "
+                                "grinding past it is killed and the job "
+                                "retried (seconds)")
+    serve_cmd.add_argument("--job-attempts", type=int, default=3,
+                           help="attempts per job before it fails with "
+                                "'compile-failed'/'timeout' (worker crashes "
+                                "and deadline kills burn attempts)")
 
     fuzz_cmd = sub.add_parser(
         "fuzz",
@@ -163,6 +180,22 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz_cmd.add_argument("--replay", metavar="ARTIFACT", default=None,
                           help="re-run the oracle bundle on a saved repro "
                                "artifact instead of fuzzing")
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against a live service",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0,
+                           help="campaign seed (same seed = identical fault "
+                                "scenarios)")
+    chaos_cmd.add_argument("--scenarios", "-n", type=int, default=200,
+                           help="fault episodes to run")
+    chaos_cmd.add_argument("--jobs", "-j", type=int, default=2,
+                           help="worker processes in the service under chaos")
+    chaos_cmd.add_argument("--baseline", default="BENCH_routing.json",
+                           help="fingerprint baseline for the post-chaos "
+                                "check (default BENCH_routing.json; '-' to "
+                                "skip)")
 
     sbench_cmd = sub.add_parser(
         "service-bench",
@@ -315,8 +348,26 @@ def _cmd_serve(args) -> int:
         cache=cache,
         validate=args.validate,
         max_pending=args.max_pending,
+        queue_wait=args.queue_wait,
+        request_timeout=args.request_timeout,
+        job_deadline=args.job_deadline,
+        job_attempts=args.job_attempts,
         announce=print,
     )
+
+
+def _cmd_chaos(args) -> int:
+    from .faultinject import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        scenarios=args.scenarios,
+        jobs=args.jobs,
+        bench_baseline=args.baseline,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_fuzz(args) -> int:
@@ -388,6 +439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
     if args.command == "list":

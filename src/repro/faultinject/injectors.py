@@ -1,0 +1,114 @@
+"""Scriptable fault injectors the chaos harness arms per scenario.
+
+Both injectors are *armed* with a finite budget of faults and *disarm*
+back to transparent pass-through, so one long-lived server can be driven
+through hundreds of scenarios without restarting.  They are thread-safe:
+the harness arms them from the test thread while the supervisor thread
+(worker faults) and executor threads (disk faults) consult them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..sweep.cache import FaultInjector
+from ..sweep.supervisor import Fault
+
+
+class ScriptedWorkerFaults:
+    """A ``fault_hook`` whose verdicts come from a per-scenario script.
+
+    The script maps *dispatch indices* (0-based, counted from the last
+    :meth:`arm`) to fault verdicts — ``("kill",)`` or ``("hang", secs)``.
+    Each scripted fault fires exactly once; unscripted dispatches run
+    clean.  Retries count as dispatches too, so ``{0: kill, 1: kill}``
+    burns two of a job's attempts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._script: Dict[int, Tuple] = {}
+        self._dispatches = 0
+        self.fired = 0
+
+    def arm(self, script: Dict[int, Tuple]) -> None:
+        with self._lock:
+            self._script = dict(script)
+            self._dispatches = 0
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._script = {}
+
+    def __call__(self, job_seq: int, attempt: int) -> Fault:
+        with self._lock:
+            index = self._dispatches
+            self._dispatches += 1
+            fault = self._script.pop(index, None)
+            if fault is not None:
+                self.fired += 1
+            return fault
+
+
+class ScriptedDiskFaults(FaultInjector):
+    """Disk-fault injector for :class:`~repro.sweep.cache.CompileCache`.
+
+    Armed with budgets of reads/writes to fail (``OSError``, as a flaky
+    disk would) and of just-written entries to truncate (a torn write
+    that slipped past the atomic-rename journal, e.g. media corruption).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fail_reads = 0
+        self._fail_writes = 0
+        self._truncate_writes = 0
+        self.read_faults = 0
+        self.write_faults = 0
+        self.truncations = 0
+        self.last_truncated: Optional[Path] = None
+
+    def arm(
+        self,
+        fail_reads: int = 0,
+        fail_writes: int = 0,
+        truncate_writes: int = 0,
+    ) -> None:
+        with self._lock:
+            self._fail_reads = fail_reads
+            self._fail_writes = fail_writes
+            self._truncate_writes = truncate_writes
+
+    def disarm(self) -> None:
+        self.arm()
+
+    def on_read(self, path: Path) -> None:
+        with self._lock:
+            if self._fail_reads > 0:
+                self._fail_reads -= 1
+                self.read_faults += 1
+                raise OSError(5, "injected read error", str(path))
+
+    def on_write(self, path: Path) -> None:
+        with self._lock:
+            if self._fail_writes > 0:
+                self._fail_writes -= 1
+                self.write_faults += 1
+                raise OSError(28, "injected write error", str(path))
+
+    def after_write(self, path: Path) -> None:
+        with self._lock:
+            if self._truncate_writes <= 0:
+                return
+            self._truncate_writes -= 1
+            self.truncations += 1
+            self.last_truncated = path
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:
+            pass

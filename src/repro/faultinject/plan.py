@@ -1,0 +1,98 @@
+"""Seeded scenario plans for the chaos harness.
+
+One :class:`ChaosScenario` is a fully materialised fault episode: which
+job to request, which fault to inject, and the exact script each injector
+should be armed with.  :func:`plan_scenario` derives it from the fuzzing
+subsystem's splitmix64 stream (:func:`repro.fuzz.rng.scenario_rng`), so
+scenario ``i`` of seed ``S`` is identical on every run, platform and
+iteration count — the same prefix-stability contract ``repro fuzz``
+keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..fuzz.rng import FuzzRng, scenario_rng
+from ..sweep.supervisor import FAULT_HANG, FAULT_KILL
+
+#: tiny workloads the campaign requests (compiles must stay sub-second).
+CHAOS_WORKLOADS = (
+    "ising_2d_2x2",
+    "heisenberg_2d_2x2",
+    "fermi_hubbard_2d_2x2",
+    "ising_2d_4x4",
+)
+
+#: fault modes with their campaign weights.
+CHAOS_MODES: Tuple[Tuple[str, int], ...] = (
+    ("clean", 20),  # no fault: baseline behaviour interleaved with chaos
+    ("worker-kill", 20),  # SIGKILL the worker at a scripted dispatch
+    ("worker-hang", 10),  # stall the worker past the compile deadline
+    ("disk-write-error", 10),  # cache store raises OSError
+    ("disk-read-error", 10),  # cache load raises OSError
+    ("truncate-entry", 10),  # corrupt the on-disk entry after it lands
+    ("conn-reset", 10),  # client resets the connection mid-frame
+    ("abandon", 10),  # client sends a request and vanishes
+)
+
+
+@dataclass
+class ChaosScenario:
+    """One planned fault episode of a chaos campaign."""
+
+    index: int
+    mode: str
+    workload: str
+    config: Dict[str, int]
+    #: dispatch-index -> fault verdict for :class:`ScriptedWorkerFaults`.
+    worker_script: Dict[int, Tuple] = field(default_factory=dict)
+    #: budgets for :class:`ScriptedDiskFaults`.
+    fail_reads: int = 0
+    fail_writes: int = 0
+    truncate_writes: int = 0
+
+    def describe(self) -> str:
+        knobs = "/".join(
+            f"{k.split('_')[0]}{v}" for k, v in sorted(self.config.items())
+        )
+        return f"#{self.index} {self.mode} {self.workload} {knobs}"
+
+
+def plan_scenario(seed: int, index: int) -> ChaosScenario:
+    """Materialise scenario ``index`` of the campaign seeded with ``seed``."""
+    rng = scenario_rng(seed, index).fork("chaos")
+    mode = rng.weighted_choice(
+        [name for name, _ in CHAOS_MODES], [w for _, w in CHAOS_MODES]
+    )
+    scenario = ChaosScenario(
+        index=index,
+        mode=mode,
+        workload=rng.choice(CHAOS_WORKLOADS),
+        config={
+            "routing_paths": rng.randint(3, 6),
+            "num_factories": rng.randint(1, 2),
+        },
+    )
+    if mode == "worker-kill":
+        scenario.worker_script = _kill_script(rng)
+    elif mode == "worker-hang":
+        # stall well past the server's per-job deadline so the supervisor
+        # must kill the worker; the retry (unscripted) runs clean
+        scenario.worker_script = {0: (FAULT_HANG, 30.0)}
+    elif mode == "disk-write-error":
+        scenario.fail_writes = rng.randint(1, 2)
+    elif mode == "disk-read-error":
+        scenario.fail_reads = rng.randint(1, 2)
+    elif mode == "truncate-entry":
+        scenario.truncate_writes = 1
+    return scenario
+
+
+def _kill_script(rng: FuzzRng) -> Dict[int, Tuple]:
+    """Kill the first dispatch; sometimes the retry too (budget is 3)."""
+    script: Dict[int, Tuple] = {0: (FAULT_KILL,)}
+    if rng.random() < 0.25:
+        script[1] = (FAULT_KILL,)
+    return script

@@ -10,13 +10,20 @@ behaviours that make the service worth running:
   all must resolve from the memo with **zero recompilation**; reports
   requests/second and client-observed p50/p95;
 * **coalesce** — a burst of concurrent identical requests for one
-  uncached job: exactly one compilation, the rest piggyback.
+  uncached job: exactly one compilation, the rest piggyback;
+* **degraded** — a sustained stream of fresh compiles while a seeded
+  fault hook SIGKILLs every 10th worker dispatch: every request must
+  still succeed (the supervised pool respawns workers and retries), and
+  the phase reports the throughput cost of running under that failure
+  rate plus a **recovery** leg showing warm throughput is intact after
+  the faults stop.
 
 ``repro service-bench`` writes the numbers to ``BENCH_service.json`` —
 the committed copy is the service-layer perf trajectory, the same way
 ``BENCH_routing.json`` tracks the routing core.  Throughput numbers are
 machine-dependent; the *invariants* (warm compiled-count zero, coalesced
-burst costing one compile) are what CI asserts.
+burst costing one compile, degraded failure-count zero) are what CI
+asserts.
 """
 
 from __future__ import annotations
@@ -31,9 +38,10 @@ from typing import Dict, List, Optional
 
 from .. import __version__
 from ..service.batcher import LatencyWindow
-from ..service.client import Client
+from ..service.client import Client, RetryPolicy
 from ..service.server import ServiceThread
 from ..sweep import CompileCache
+from ..sweep.supervisor import FAULT_KILL
 from .bench import bench_cases
 
 #: default output file, tracked over time as the service perf trajectory.
@@ -42,6 +50,33 @@ BENCH_SERVICE_FILENAME = "BENCH_service.json"
 #: the coalesce-burst job: in the full bench matrix but not the fast one,
 #: so it is guaranteed cold after the cold/warm phases.
 _COALESCE_CASE = ("ising_2d_4x4", 3, 1)
+
+#: degraded phase: SIGKILL every Nth worker dispatch (a 10% kill rate).
+_KILL_EVERY = 10
+
+
+class _KillRateFaults:
+    """Fault hook killing every ``every``-th first-attempt dispatch.
+
+    Retries always run clean so the phase measures recovery cost, not a
+    pathological kill-the-retry loop; the hook stays dormant until the
+    degraded phase flips ``enabled``.
+    """
+
+    def __init__(self, every: int = _KILL_EVERY) -> None:
+        self.every = every
+        self.enabled = False
+        self.kills = 0
+        self._dispatches = 0
+
+    def __call__(self, job_seq: int, attempt: int):
+        if not self.enabled or attempt > 1:
+            return None
+        self._dispatches += 1
+        if self._dispatches % self.every == 0:
+            self.kills += 1
+            return (FAULT_KILL,)
+        return None
 
 
 def run_service_bench(
@@ -91,7 +126,13 @@ def _run_phases(
             "clients": clients,
         }
     }
-    with ServiceThread(jobs=jobs, cache=CompileCache(cache_dir)) as service:
+    kill_faults = _KillRateFaults()
+    with ServiceThread(
+        jobs=jobs,
+        cache=CompileCache(cache_dir),
+        job_attempts=3,
+        worker_faults=kill_faults,
+    ) as service:
         host, port = service.address
         note(f"service on {host}:{port} ({jobs} workers, cache {cache_dir})")
 
@@ -183,6 +224,11 @@ def _run_phases(
                 f"coalesce burst compiled {compiled} times (want exactly 1)"
             )
 
+        # -- degraded phase: sustained load under a 10% worker-kill rate ---
+        report["degraded"] = _degraded_phase(
+            host, port, service, kill_faults, note
+        )
+
         with Client(host, port) as client:
             server_stats = client.stats()
         # the cache path is machine-specific noise in a committed
@@ -191,6 +237,98 @@ def _run_phases(
             server_stats["cache"].pop("dir", None)
         report["server"] = server_stats
     return report
+
+
+def _degraded_phase(host, port, service, kill_faults, note) -> dict:
+    """Sustained fresh compiles under worker kills, then a recovery leg."""
+    # fresh configs (not in the fast matrix) so requests actually reach
+    # the worker pool instead of the memo; repeats mix in warm traffic
+    combos = [
+        (workload, r, f)
+        for workload in (
+            "ising_2d_2x2", "heisenberg_2d_2x2", "fermi_hubbard_2d_2x2"
+        )
+        for r in (3, 4, 5, 6)
+        for f in (1, 2)
+    ]
+    pool_before = service.service.engine.pool_stats() or {}
+    kill_faults.enabled = True
+    latency = LatencyWindow(maxlen=len(combos))
+    failures = 0
+    degraded_start = time.perf_counter()
+    try:
+        with Client(
+            host, port, timeout=120.0,
+            retry=RetryPolicy(attempts=3, base_delay=0.05),
+        ) as client:
+            for workload, routing_paths, num_factories in combos:
+                begin = time.perf_counter()
+                try:
+                    client.compile(
+                        workload=workload,
+                        routing_paths=routing_paths,
+                        num_factories=num_factories,
+                    )
+                except Exception:  # noqa: BLE001 — counted, phase-fatal below
+                    failures += 1
+                latency.add(time.perf_counter() - begin)
+    finally:
+        kill_faults.enabled = False
+    degraded_wall = time.perf_counter() - degraded_start
+    pool_after = service.service.engine.pool_stats() or {}
+
+    # recovery leg: warm traffic must be back to zero-recompile service
+    recovery_sources: Dict[str, int] = {}
+    recovery_start = time.perf_counter()
+    with Client(host, port) as client:
+        for workload, routing_paths, num_factories in combos:
+            reply = client.compile(
+                workload=workload,
+                routing_paths=routing_paths,
+                num_factories=num_factories,
+            )
+            recovery_sources[reply.source] = (
+                recovery_sources.get(reply.source, 0) + 1
+            )
+    recovery_wall = time.perf_counter() - recovery_start
+
+    phase = {
+        "requests": len(combos),
+        "failures": failures,
+        "worker_kills": kill_faults.kills,
+        "worker_restarts": (
+            pool_after.get("restarts", 0) - pool_before.get("restarts", 0)
+        ),
+        "job_retries": (
+            pool_after.get("retries", 0) - pool_before.get("retries", 0)
+        ),
+        "total_wall": round(degraded_wall, 4),
+        "rps": round(len(combos) / degraded_wall, 1) if degraded_wall else None,
+        **latency.snapshot(),
+        "recovery": {
+            "requests": len(combos),
+            "total_wall": round(recovery_wall, 4),
+            "rps": (
+                round(len(combos) / recovery_wall, 1) if recovery_wall else None
+            ),
+            "sources": recovery_sources,
+        },
+    }
+    note(
+        f"degraded: {len(combos)} requests under a 1/{kill_faults.every} "
+        f"worker-kill rate in {degraded_wall:.3f}s "
+        f"({kill_faults.kills} kill(s), {failures} failure(s)); "
+        f"recovery {phase['recovery']['rps']} req/s warm"
+    )
+    if failures:
+        raise RuntimeError(
+            f"degraded phase lost {failures} request(s) under worker kills"
+        )
+    if set(recovery_sources) - {"memo", "disk"}:
+        raise RuntimeError(
+            f"recovery leg recompiled: sources {recovery_sources}"
+        )
+    return phase
 
 
 def write_service_report(report: dict, path: str) -> None:
@@ -216,4 +354,14 @@ def service_report_text(report: dict) -> str:
         f"coalesced, {coalesce['cache_hits']} cache hits",
         f"total compilations server-side: {engine['compiled']}",
     ]
+    degraded = report.get("degraded")
+    if degraded:
+        lines.insert(
+            3,
+            f"chaos: {degraded['requests']} requests under a "
+            f"{degraded['worker_kills']}-kill storm = {degraded['rps']} req/s "
+            f"(p95 {degraded['p95_ms']}ms, {degraded['failures']} failures, "
+            f"{degraded['worker_restarts']} worker restarts); recovery "
+            f"{degraded['recovery']['rps']} req/s",
+        )
     return "\n".join(lines)

@@ -23,8 +23,14 @@ a different compiler.
 """
 
 from .batcher import CompileBroker, OverloadedError, ServiceMetrics
-from .client import Client, CompileReply, ServiceError
-from .protocol import DEFAULT_PORT, ERROR_CODES, PROTOCOL_VERSION, ProtocolError
+from .client import Client, CompileReply, RetryPolicy, ServiceError
+from .protocol import (
+    DEFAULT_PORT,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    RETRYABLE_CODES,
+    ProtocolError,
+)
 from .server import DEFAULT_MAX_PENDING, CompileService, ServiceThread, run_server
 
 __all__ = [
@@ -38,6 +44,8 @@ __all__ = [
     "OverloadedError",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RETRYABLE_CODES",
+    "RetryPolicy",
     "ServiceError",
     "ServiceMetrics",
     "ServiceThread",

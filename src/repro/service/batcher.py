@@ -12,9 +12,18 @@ it resolves, in order:
    holds the result: serve it with zero recompilation.
 3. **compile** — dispatch to the engine's long-lived process pool, but
    only while fewer than ``max_pending`` distinct jobs are in flight;
-   beyond that the broker sheds load with :class:`OverloadedError`
-   (surfaced to clients as the ``overloaded`` error code) rather than
+   beyond that a request may wait up to ``queue_wait`` seconds for a slot
+   (zero by default) before the broker sheds it with
+   :class:`OverloadedError` (the ``overloaded`` error code) rather than
    queueing unboundedly.
+
+Each distinct job is resolved by a **broker-owned task**, not by the
+request handler that happened to arrive first.  That is the
+fault-isolation boundary for client disconnects: a handler that goes away
+(its coroutine is cancelled) merely detaches from the shared future, and
+when the *last* waiter detaches the broker abandons the job — cancelling
+it if it is still queued, but letting an already-running compile finish
+so its result warms the memo and disk cache for the inevitable retry.
 
 Engine calls that touch the disk cache or replay-validate a schedule run
 on the default thread executor so the event loop keeps serving other
@@ -24,6 +33,7 @@ connections while they grind.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import math
 import time
 from collections import deque
@@ -107,6 +117,11 @@ class ServiceMetrics:
         self.compiled = 0
         self.overloaded = 0
         self.validation_failures = 0
+        # fault-tolerance counters
+        self.timeouts = 0  # requests answered with the `timeout` code
+        self.compile_failures = 0  # requests answered with `compile-failed`
+        self.disconnects = 0  # clients that vanished mid-request
+        self.abandoned = 0  # jobs whose last waiter disconnected
 
     def endpoint(self, op: str) -> EndpointMetrics:
         metrics = self.endpoints.get(op)
@@ -145,8 +160,26 @@ class ServiceMetrics:
                 "compiled": self.compiled,
                 "overloaded": self.overloaded,
                 "validation_failures": self.validation_failures,
+                "timeouts": self.timeouts,
+                "compile_failures": self.compile_failures,
+            },
+            "faults": {
+                "disconnects": self.disconnects,
+                "abandoned_jobs": self.abandoned,
             },
         }
+
+
+class _InflightJob:
+    """One distinct job being resolved by a broker-owned task."""
+
+    __slots__ = ("future", "task", "waiters", "compiling")
+
+    def __init__(self, future: asyncio.Future) -> None:
+        self.future = future
+        self.task: Optional[asyncio.Task] = None
+        self.waiters = 0
+        self.compiling = False  # a worker is grinding on it right now
 
 
 class CompileBroker:
@@ -159,14 +192,20 @@ class CompileBroker:
         max_pending: bound on *distinct* jobs compiling at once; requests
             that would exceed it are shed with :class:`OverloadedError`.
             Coalesced and cache-served requests never count against it.
+        queue_wait: seconds a request may wait for a compile slot before
+            being shed (0 = shed immediately, the classic behaviour).
     """
 
-    def __init__(self, engine, max_pending: int = 32) -> None:
+    def __init__(
+        self, engine, max_pending: int = 32, queue_wait: float = 0.0
+    ) -> None:
         self.engine = engine
         self.max_pending = max(0, int(max_pending))
+        self.queue_wait = max(0.0, float(queue_wait))
         self.metrics = ServiceMetrics()
-        self._inflight: Dict[str, asyncio.Future] = {}
+        self._inflight: Dict[str, _InflightJob] = {}
         self._compiling = 0
+        self._slot_waiters: Deque[asyncio.Future] = deque()
 
     @property
     def pending(self) -> int:
@@ -180,65 +219,145 @@ class CompileBroker:
 
         Raises :class:`OverloadedError` on backpressure shed and
         :class:`~repro.verify.ValidationError` when the engine validates
-        and the schedule (fresh or cached) fails replay.
+        and the schedule (fresh or cached) fails replay.  Cancelling this
+        coroutine (request deadline, client disconnect) detaches the
+        request from the shared job without disturbing other waiters.
         """
         loop = asyncio.get_running_loop()
         # keying hashes the whole gate stream — keep it off the event loop
         key = await loop.run_in_executor(None, job_key, circuit, config)
 
-        inflight = self._inflight.get(key)
-        if inflight is not None:
+        job = self._inflight.get(key)
+        if job is None:
+            coalesced = False
+            job = _InflightJob(loop.create_future())
+            # a shed or abandoned job must not warn "exception never
+            # retrieved" when no waiter is left to await it
+            job.future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._inflight[key] = job
+            job.task = asyncio.ensure_future(
+                self._run_job(key, circuit, config, job)
+            )
+        else:
+            coalesced = True
             self.metrics.record_source("coalesced")
-            # shield: one client disconnecting must not cancel the shared
-            # compilation other waiters (and the memo) depend on
-            result = await asyncio.shield(inflight)
-            return result, "coalesced", key
 
-        # register the shared future before the first await so an identical
-        # request arriving during the cache lookup coalesces instead of
-        # starting a duplicate resolution of the same key
-        shared: asyncio.Future = loop.create_future()
-        # a shed or abandoned future must not warn "exception never
-        # retrieved" when no coalesced waiter ever awaits it
-        shared.add_done_callback(
-            lambda f: f.exception() if not f.cancelled() else None
-        )
-        self._inflight[key] = shared
+        job.waiters += 1
+        try:
+            # shield: this waiter being cancelled must not cancel the
+            # shared future other waiters (and the memo) depend on
+            result, source = await asyncio.shield(job.future)
+        finally:
+            job.waiters -= 1
+            if job.waiters == 0 and not job.future.done():
+                await self._abandon(key, job)
+        if coalesced:
+            source = "coalesced"
+        return result, source, key
+
+    async def _run_job(
+        self, key: str, circuit: Circuit, config: CompilerConfig, job: _InflightJob
+    ) -> None:
+        """Resolve one distinct job (broker-owned, survives its requesters)."""
+        loop = asyncio.get_running_loop()
         try:
             hit = await loop.run_in_executor(
                 None, self.engine.cached_result, circuit, config, key
             )
             if hit is not None:
                 result, source = hit
-                shared.set_result(result)
-                self.metrics.record_source(source)
-                return result, source, key
-
-            if self._compiling >= self.max_pending:
+            else:
+                await self._acquire_slot(loop)
+                job.compiling = True
+                try:
+                    payload = await asyncio.wrap_future(
+                        self.engine.submit(circuit, config), loop=loop
+                    )
+                    result = await loop.run_in_executor(
+                        None, self.engine.adopt, circuit, config, payload, key
+                    )
+                finally:
+                    job.compiling = False
+                    self._release_slot()
+                source = "compiled"
+            self.metrics.record_source(source)
+            if not job.future.done():
+                job.future.set_result((result, source))
+        except asyncio.CancelledError:
+            if not job.future.done():
+                job.future.cancel()
+            raise
+        except BaseException as exc:  # noqa: BLE001 — shipped to the waiters
+            if isinstance(exc, OverloadedError):
                 self.metrics.overloaded += 1
+            if not job.future.done():
+                job.future.set_exception(exc)
+        finally:
+            if self._inflight.get(key) is job:
+                del self._inflight[key]
+
+    async def _abandon(self, key: str, job: _InflightJob) -> None:
+        """Last waiter disconnected: stop queued work, keep running work.
+
+        A job still waiting for a compile slot is cancelled outright — it
+        would burn a worker nobody is listening for.  A job already
+        compiling is left to finish: the result lands in the memo and the
+        disk cache, so the client's retry (same content-addressed key)
+        becomes a warm hit instead of a second compile.
+        """
+        self.metrics.abandoned += 1
+        if job.compiling or job.task is None or job.task.done():
+            return
+        job.task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, Exception):
+            await job.task
+
+    # -- compile-slot accounting ---------------------------------------------
+
+    async def _acquire_slot(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Take one of ``max_pending`` compile slots or raise OverloadedError.
+
+        With a ``queue_wait`` budget the request parks on a FIFO waiter
+        future that :meth:`_release_slot` resolves as slots free up.
+        """
+        if self._compiling < self.max_pending:
+            self._compiling += 1
+            return
+        if self.queue_wait <= 0.0:
+            raise OverloadedError(
+                f"{self._compiling} compile job(s) in flight "
+                f"(max_pending={self.max_pending}); retry later"
+            )
+        deadline = loop.time() + self.queue_wait
+        while self._compiling >= self.max_pending:
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
                 raise OverloadedError(
-                    f"{self._compiling} compile job(s) in flight "
+                    f"no compile slot freed within queue_wait="
+                    f"{self.queue_wait:.3g}s "
                     f"(max_pending={self.max_pending}); retry later"
                 )
-
-            self._compiling += 1
+            waiter: asyncio.Future = loop.create_future()
+            self._slot_waiters.append(waiter)
             try:
-                payload = await asyncio.wrap_future(
-                    self.engine.submit(circuit, config), loop=loop
-                )
-                result = await loop.run_in_executor(
-                    None, self.engine.adopt, circuit, config, payload, key
-                )
+                await asyncio.wait_for(waiter, timeout=remaining)
+            except asyncio.TimeoutError:
+                raise OverloadedError(
+                    f"no compile slot freed within queue_wait="
+                    f"{self.queue_wait:.3g}s "
+                    f"(max_pending={self.max_pending}); retry later"
+                ) from None
             finally:
-                self._compiling -= 1
-        except BaseException as exc:
-            if not shared.done():
-                shared.set_exception(exc)
-            raise
-        else:
-            if not shared.done():
-                shared.set_result(result)
-            self.metrics.record_source("compiled")
-            return result, "compiled", key
-        finally:
-            self._inflight.pop(key, None)
+                with contextlib.suppress(ValueError):
+                    self._slot_waiters.remove(waiter)
+        self._compiling += 1
+
+    def _release_slot(self) -> None:
+        self._compiling -= 1
+        while self._slot_waiters:
+            waiter = self._slot_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break

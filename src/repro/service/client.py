@@ -19,9 +19,11 @@ and any structured ``details`` (a full validation report dict for
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..compiler.result import CompilationResult
 from . import protocol
@@ -76,6 +78,38 @@ class CompileReply:
         return self.source in ("memo", "disk")
 
 
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with full jitter for transient service failures.
+
+    The delay before attempt *k* (0-based retry index) is drawn uniformly
+    from ``[0, min(max_delay, base_delay * 2**k)]`` — "full jitter", which
+    decorrelates a thundering herd of retrying clients instead of having
+    them all hammer the server again on the same beat.
+
+    Retried failures: connection errors (server restarting, connection
+    reset mid-frame — the client reconnects first) and the structured
+    error codes in ``codes`` (``overloaded`` and ``timeout`` by default).
+    Resubmission is **idempotent by construction**: a compile request is
+    content-addressed by its job key and results are deterministic and
+    replay-validated, so re-sending the same request can only hit the
+    cache or recompile to identical bytes — never double-apply anything.
+    """
+
+    attempts: int = 4  # total tries (1 initial + attempts-1 retries)
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    codes: Tuple[str, ...] = protocol.RETRYABLE_CODES
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered sleep before the ``retry_index``-th retry."""
+        ceiling = min(self.max_delay, self.base_delay * (2.0**retry_index))
+        return rng.uniform(0.0, ceiling)
+
+    def retries_error(self, code: str) -> bool:
+        return code in self.codes
+
+
 class Client:
     """Blocking JSON-lines client, one request at a time.
 
@@ -83,6 +117,14 @@ class Client:
         host / port: the service address.
         timeout: socket timeout in seconds for connect and each response
             (compiles of large circuits can be slow — size accordingly).
+        retry: optional :class:`RetryPolicy`; when set, transient failures
+            (connection drops, ``overloaded``, ``timeout``) are retried
+            with exponential backoff + full jitter, reconnecting as
+            needed.  None (the default) keeps the classic fail-fast
+            behaviour.
+        sleep / rng: injection points for the backoff clock — tests pass
+            a fake sleep and a seeded ``random.Random`` so retry schedules
+            are asserted without real waiting.
     """
 
     def __init__(
@@ -90,20 +132,49 @@ class Client:
         host: str = "127.0.0.1",
         port: int = protocol.DEFAULT_PORT,
         timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.retry = retry
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self.reconnects = 0
+        self.retried = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
 
     # -- transport ----------------------------------------------------------
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one message, return the raw response dict.
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._reader = self._sock.makefile("rb")
 
-        Raises :class:`ServiceError` on ``ok: false`` responses and
-        :class:`ConnectionError` when the server hangs up mid-exchange.
-        """
+    def _drop_connection(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _exchange(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One send/receive on the live connection (reconnecting first)."""
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
         self._sock.sendall(protocol.encode_line(message))
         line = self._reader.readline()
         if not line:
@@ -118,11 +189,40 @@ class Client:
             )
         return response
 
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, return the raw response dict.
+
+        Raises :class:`ServiceError` on ``ok: false`` responses and
+        :class:`ConnectionError` when the server hangs up mid-exchange.
+        With a :class:`RetryPolicy`, transient failures are resubmitted
+        (safe: requests are content-addressed and deterministic) after a
+        jittered backoff; the last failure is re-raised once the attempt
+        budget is spent.
+        """
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            try:
+                return self._exchange(message)
+            except ServiceError as exc:
+                if (
+                    policy is None
+                    or attempt + 1 >= attempts
+                    or not policy.retries_error(exc.code)
+                ):
+                    raise
+            except (ConnectionError, socket.timeout, OSError):
+                # the connection is in an unknown state — rebuild it on
+                # the next attempt rather than reading a stale frame
+                self._drop_connection()
+                if policy is None or attempt + 1 >= attempts:
+                    raise
+            self.retried += 1
+            self._sleep(policy.delay(attempt, self._rng))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "Client":
         return self
@@ -139,10 +239,13 @@ class Client:
         optimize: bool = False,
         full: bool = False,
         request_id: Optional[Any] = None,
+        timeout: Optional[float] = None,
         **config: Any,
     ) -> CompileReply:
         """Compile a workload name or QASM source on the service.
 
+        ``timeout`` asks the server to bound this request end-to-end
+        (seconds); expiry surfaces as a ``timeout`` :class:`ServiceError`.
         Keyword arguments beyond the named ones are
         :class:`~repro.compiler.config.CompilerConfig` overrides
         (``routing_paths=6``, ``num_factories=2``, ...).
@@ -155,6 +258,7 @@ class Client:
                 optimize=optimize,
                 full=full,
                 request_id=request_id,
+                timeout=timeout,
             )
         )
         result = None

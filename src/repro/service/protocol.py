@@ -15,6 +15,9 @@ Requests carry an ``op`` field:
     overrides and an optional ``optimize`` flag (run the front-end
     cleanup passes first).  ``full: true`` additionally returns the
     complete serialized :class:`~repro.compiler.result.CompilationResult`.
+    ``timeout`` (seconds) bounds this one request end-to-end; the server
+    clamps it to its own ``--request-timeout`` and answers with the
+    ``timeout`` error code when the deadline expires.
 ``stats``
     Per-endpoint request counters, coalescing/cache counters and latency
     percentiles.
@@ -60,6 +63,8 @@ E_BAD_CIRCUIT = "bad-circuit"  #: QASM source failed to parse
 E_UNKNOWN_WORKLOAD = "unknown-workload"  #: workload name not in the registry
 E_OVERLOADED = "overloaded"  #: bounded compile queue is full (backpressure)
 E_VALIDATION = "validation-failed"  #: replay validation rejected the schedule
+E_TIMEOUT = "timeout"  #: request deadline or per-job compile deadline expired
+E_COMPILE_FAILED = "compile-failed"  #: compile crashed its worker on every try
 E_INTERNAL = "internal"  #: unexpected server-side failure
 
 #: the closed set of error codes a server can emit.
@@ -70,8 +75,14 @@ ERROR_CODES = (
     E_UNKNOWN_WORKLOAD,
     E_OVERLOADED,
     E_VALIDATION,
+    E_TIMEOUT,
+    E_COMPILE_FAILED,
     E_INTERNAL,
 )
+
+#: error codes a client may safely retry: the failure is transient and the
+#: job key is content-addressed, so resubmission is idempotent.
+RETRYABLE_CODES = (E_OVERLOADED, E_TIMEOUT)
 
 #: CompilerConfig fields a request's ``config`` object may override.
 #: Nested model objects (instruction set, factory, synthesis) are server
@@ -127,6 +138,7 @@ def compile_request(
     optimize: bool = False,
     full: bool = False,
     request_id: Optional[Any] = None,
+    timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Build a ``compile`` request message (validation happens server-side)."""
     message: Dict[str, Any] = {"op": "compile"}
@@ -142,6 +154,8 @@ def compile_request(
         message["full"] = True
     if request_id is not None:
         message["id"] = request_id
+    if timeout is not None:
+        message["timeout"] = timeout
     return message
 
 

@@ -26,7 +26,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
-from ..sweep import CompileCache, SweepEngine
+from ..sweep import CompileCache, JobCrashed, JobFailure, JobTimeout, SweepEngine
 from ..verify import ValidationError
 from . import protocol
 from .batcher import CompileBroker, OverloadedError
@@ -34,6 +34,12 @@ from .protocol import DEFAULT_PORT
 
 #: default bound on distinct in-flight compilations (per broker).
 DEFAULT_MAX_PENDING = 32
+
+#: default end-to-end budget per request (seconds); None = unbounded.
+DEFAULT_REQUEST_TIMEOUT: Optional[float] = None
+
+#: default attempts the worker pool gives a crashing/wedged compile.
+DEFAULT_JOB_ATTEMPTS = 3
 
 #: sentinel returned by ``_read_request`` for an over-long request line.
 _TOO_LONG = object()
@@ -58,6 +64,18 @@ class CompileService:
         max_pending: backpressure bound on distinct in-flight compiles.
         allow_shutdown: honour the ``shutdown`` op (disable for servers
             exposed beyond a trusted dev loop).
+        request_timeout: end-to-end budget per request in seconds
+            (admission to response); expiry answers with the ``timeout``
+            error code.  A request's own ``timeout`` field can only
+            shorten it.  None = unbounded.
+        queue_wait: seconds a request may wait for a free compile slot
+            before being shed as ``overloaded`` (0 = shed immediately).
+        job_deadline: per-job compile budget enforced by the worker pool;
+            a wedged worker is killed and the job retried.
+        job_attempts: worker-pool attempts per job before a crash/deadline
+            becomes the request's ``compile-failed``/``timeout`` error.
+        worker_faults: seeded fault hook forwarded to the worker pool
+            (chaos harness only).
     """
 
     def __init__(
@@ -69,15 +87,29 @@ class CompileService:
         validate: bool = False,
         max_pending: int = DEFAULT_MAX_PENDING,
         allow_shutdown: bool = True,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        queue_wait: float = 0.0,
+        job_deadline: Optional[float] = None,
+        job_attempts: int = DEFAULT_JOB_ATTEMPTS,
+        worker_faults=None,
     ) -> None:
         self.host = host
         self.port = port
         self.validate = validate
         self.allow_shutdown = allow_shutdown
+        self.request_timeout = request_timeout
         self.engine = SweepEngine(
-            jobs=jobs, cache=cache, validate=validate, persistent=True
+            jobs=jobs,
+            cache=cache,
+            validate=validate,
+            persistent=True,
+            job_deadline=job_deadline,
+            job_attempts=job_attempts,
+            worker_faults=worker_faults,
         )
-        self.broker = CompileBroker(self.engine, max_pending=max_pending)
+        self.broker = CompileBroker(
+            self.engine, max_pending=max_pending, queue_wait=queue_wait
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopping: Optional[asyncio.Event] = None
         self._handlers: set = set()
@@ -141,6 +173,7 @@ class CompileService:
     ) -> None:
         self.broker.metrics.connections += 1
         self._handlers.add(asyncio.current_task())
+        leftover = b""  # byte the disconnect probe read ahead (pipelining)
         try:
             while True:
                 line = await self._read_request(reader)
@@ -158,7 +191,12 @@ class CompileService:
                     break
                 if not line:  # client EOF
                     break
-                response = await self._dispatch(line)
+                if leftover:
+                    line = leftover + line
+                    leftover = b""
+                response, leftover = await self._dispatch_watched(line, reader)
+                if response is None:  # client vanished mid-request
+                    break
                 if "result" in response:
                     # full-result payloads can be megabytes of JSON;
                     # encode off the loop like the parse path
@@ -201,6 +239,57 @@ class CompileService:
         except (asyncio.LimitOverrunError, ValueError):
             return _TOO_LONG
 
+    async def _dispatch_watched(
+        self, line: bytes, reader: asyncio.StreamReader
+    ) -> Tuple[Optional[Dict[str, Any]], bytes]:
+        """Dispatch one request racing the client's disappearance.
+
+        A one-byte read on the (otherwise idle — the protocol is strict
+        request/response) connection doubles as a disconnect probe: EOF
+        while the request is in flight cooperatively cancels the dispatch,
+        so its compile slot, queue entry and coalesced-waiter registration
+        are released instead of grinding for a client that is gone.
+
+        Returns ``(response, leftover)``; response None means the client
+        vanished and the connection should be closed.  ``leftover`` is a
+        byte the probe read from an eager (pipelining) client, which the
+        caller must prepend to the next request line.
+        """
+        dispatch = asyncio.ensure_future(self._dispatch(line))
+        probe = asyncio.ensure_future(reader.read(1))
+        await asyncio.wait(
+            {dispatch, probe}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if dispatch.done():
+            # response ready: retire the probe without losing a byte
+            # (cancelling a StreamReader read never consumes buffer data)
+            if not probe.done():
+                probe.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await probe
+            leftover = b""
+            if (
+                probe.done()
+                and not probe.cancelled()
+                and probe.exception() is None
+            ):
+                leftover = probe.result()
+            return await dispatch, leftover
+        try:
+            data = probe.result()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            data = b""
+        if data:
+            # an eager client sent its next frame early — not a
+            # disconnect; finish this request and stash the byte
+            return await dispatch, data
+        # EOF mid-request: the client abandoned it
+        self.broker.metrics.disconnects += 1
+        dispatch.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await dispatch
+        return None, b""
+
     async def _dispatch(self, line: bytes) -> Dict[str, Any]:
         start = time.perf_counter()
         op = "?"
@@ -210,7 +299,13 @@ class CompileService:
             message = protocol.decode_line(line)
             op = str(message.get("op", "?"))
             if op == "compile":
-                response = await self._handle_compile(message, start)
+                budget = self._request_budget(message)
+                if budget is None:
+                    response = await self._handle_compile(message, start)
+                else:
+                    response = await asyncio.wait_for(
+                        self._handle_compile(message, start), timeout=budget
+                    )
             elif op == "stats":
                 response = self._handle_stats()
             elif op == "ping":
@@ -233,6 +328,28 @@ class CompileService:
         except OverloadedError as exc:
             error_code = protocol.E_OVERLOADED
             response = protocol.error_response(protocol.E_OVERLOADED, str(exc))
+        except JobTimeout as exc:
+            # the worker pool killed a wedged compile on every attempt
+            error_code = protocol.E_TIMEOUT
+            self.broker.metrics.timeouts += 1
+            response = protocol.error_response(
+                protocol.E_TIMEOUT, str(exc), details={"attempts": exc.attempts}
+            )
+        except JobFailure as exc:  # JobCrashed and future siblings
+            error_code = protocol.E_COMPILE_FAILED
+            self.broker.metrics.compile_failures += 1
+            response = protocol.error_response(
+                protocol.E_COMPILE_FAILED,
+                str(exc),
+                details={"attempts": exc.attempts, "cause": exc.code},
+            )
+        except asyncio.TimeoutError:
+            # the end-to-end request budget expired (admission to response)
+            error_code = protocol.E_TIMEOUT
+            self.broker.metrics.timeouts += 1
+            response = protocol.error_response(
+                protocol.E_TIMEOUT, "request exceeded its time budget"
+            )
         except ValidationError as exc:
             error_code = protocol.E_VALIDATION
             self.broker.metrics.validation_failures += 1
@@ -252,6 +369,30 @@ class CompileService:
         if message is not None and "id" in message:
             response = {**response, "id": message["id"]}
         return response
+
+    def _request_budget(self, message: Dict[str, Any]) -> Optional[float]:
+        """Effective end-to-end budget for one compile request.
+
+        A request's own ``timeout`` field can only shorten the server's
+        configured ``request_timeout``, never extend it.
+        """
+        client = message.get("timeout")
+        if client is not None:
+            if (
+                isinstance(client, bool)
+                or not isinstance(client, (int, float))
+                or client <= 0
+            ):
+                raise protocol.ProtocolError(
+                    protocol.E_BAD_REQUEST,
+                    "'timeout' must be a positive number of seconds",
+                )
+            client = float(client)
+        if client is None:
+            return self.request_timeout
+        if self.request_timeout is None:
+            return client
+        return min(client, self.request_timeout)
 
     async def _handle_compile(
         self, message: Dict[str, Any], start: float
@@ -278,12 +419,12 @@ class CompileService:
         stats["max_pending"] = self.broker.max_pending
         stats["jobs"] = self.engine.jobs
         stats["validate"] = self.validate
+        stats["request_timeout"] = self.request_timeout
+        stats["pool"] = self.engine.pool_stats()
         if self.engine.cache is not None:
             stats["cache"] = {
                 "dir": str(self.engine.cache.root),
-                "hits": self.engine.cache.hits,
-                "misses": self.engine.cache.misses,
-                "stores": self.engine.cache.stores,
+                **self.engine.cache.health(),
             }
         else:
             stats["cache"] = None
@@ -306,6 +447,10 @@ def run_server(
     cache: Optional[CompileCache] = None,
     validate: bool = False,
     max_pending: int = DEFAULT_MAX_PENDING,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    queue_wait: float = 0.0,
+    job_deadline: Optional[float] = None,
+    job_attempts: int = DEFAULT_JOB_ATTEMPTS,
     announce=None,
 ) -> int:
     """Run a compile service until SIGINT/SIGTERM (the ``repro serve`` body).
@@ -323,6 +468,10 @@ def run_server(
             cache=cache,
             validate=validate,
             max_pending=max_pending,
+            request_timeout=request_timeout,
+            queue_wait=queue_wait,
+            job_deadline=job_deadline,
+            job_attempts=job_attempts,
         )
         await service.start()
         loop = asyncio.get_running_loop()

@@ -17,8 +17,20 @@ from .jobs import (
     job_key,
 )
 from .planner import SweepPlan, plan_jobs
+from .supervisor import (
+    JobCrashed,
+    JobFailure,
+    JobTimeout,
+    PoolStats,
+    SupervisedPool,
+)
 
 __all__ = [
+    "JobCrashed",
+    "JobFailure",
+    "JobTimeout",
+    "PoolStats",
+    "SupervisedPool",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
     "CompileCache",

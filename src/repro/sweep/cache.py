@@ -7,13 +7,30 @@ serialization schema, invalidation is automatic — any change to the input
 or the format simply addresses a different file.  Deleting the directory
 (or passing ``--no-cache``) is always safe.
 
-Writes are atomic (temp file + ``os.replace``), so a crashed or parallel
-run can never leave a torn entry; unreadable or corrupt entries are treated
-as misses and overwritten.
+The store is crash-safe in both directions:
+
+* **writes** go to a temp file in the entry's directory, are ``fsync``\\ ed,
+  and land via ``os.replace`` — a crash (or a parallel writer) can never
+  leave a torn entry under the final name, and a power loss cannot leave
+  an empty one.  A failing write (disk full, permission error) is
+  *counted*, not raised: the cache is an accelerator, so the caller's
+  freshly compiled result must still reach the client.
+* **reads** verify a SHA-256 checksum recorded at write time over the
+  canonical result payload.  An entry that fails to parse, fails its
+  checksum, or carries the wrong key is **quarantined** — moved into
+  ``<cache_dir>/quarantine/`` and counted — never silently served and
+  never allowed to crash the request; the lookup simply misses and the
+  job recompiles.  Transient I/O errors (``EIO`` and friends) miss
+  without quarantining, since the bytes on disk may be fine.
+
+``FaultInjector`` is the seam the chaos harness uses to make disk
+failures deterministic: its hooks run inside ``load``/``store`` and may
+raise ``OSError`` or truncate the just-written file.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -25,6 +42,9 @@ from ..compiler.result import CompilationResult
 #: environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: subdirectory (under the cache root) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/sweep``."""
@@ -34,58 +54,168 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "sweep"
 
 
+def payload_checksum(result_dict: dict) -> str:
+    """SHA-256 over the canonical JSON form of a serialized result."""
+    canonical = json.dumps(result_dict, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class FaultInjector:
+    """Deterministic disk-fault hooks for the chaos harness.
+
+    Subclass (or assign the attributes) to inject failures; the default
+    hooks do nothing.  ``on_read``/``on_write`` run inside
+    :meth:`CompileCache.load` / :meth:`CompileCache.store` and may raise
+    ``OSError`` to simulate I/O failure; ``after_write`` runs after the
+    entry has landed under its final name and may mutilate it (truncate,
+    overwrite) to simulate a torn write that snuck past the journal.
+    """
+
+    def on_read(self, path: Path) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_write(self, path: Path) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def after_write(self, path: Path) -> None:  # pragma: no cover - no-op
+        pass
+
+
 class CompileCache:
-    """On-disk result store with hit/miss accounting.
+    """On-disk result store with hit/miss and corruption accounting.
 
     Attributes:
         hits / misses / stores: counters since construction (misses count
             only failed lookups, not stores).
+        quarantined: corrupt entries moved aside by :meth:`load`.
+        read_errors: transient I/O failures during :meth:`load` (missed
+            without quarantining).
+        store_errors: failed :meth:`store` calls (swallowed, counted).
     """
 
-    def __init__(self, cache_dir: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.faults = faults
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+        self.read_errors = 0
+        self.store_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def load(self, key: str) -> Optional[CompilationResult]:
-        """The cached result for ``key``, or None (corrupt files miss too)."""
+        """The verified cached result for ``key``, or None.
+
+        A missing file is a plain miss.  A present-but-unreadable file is
+        a miss that counts a ``read_error`` (the bytes may be fine — the
+        I/O was not).  A readable file whose contents fail to parse,
+        carry the wrong key, or fail the checksum is quarantined: moved
+        to ``quarantine/`` and counted, so corruption is visible in
+        stats and can never be served or re-hit on the next lookup.
+        """
         path = self._path(key)
         try:
+            if self.faults is not None:
+                self.faults.on_read(path)
             with open(path) as handle:
-                data = json.load(handle)
+                raw = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.read_errors += 1
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
+            if data["key"] != key:
+                raise ValueError("entry is addressed by a different key")
+            if data["checksum"] != payload_checksum(data["result"]):
+                raise ValueError("entry failed its checksum")
             result = CompilationResult.from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def store(self, key: str, result: CompilationResult) -> None:
-        """Atomically persist ``result`` under ``key``."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (best effort — never raises)."""
+        target_dir = self.root / QUARANTINE_DIR
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # quarantine dir unwritable: fall back to deleting the entry
+            # so the corruption at least cannot be re-read
             try:
-                os.unlink(tmp)
+                os.unlink(path)
             except OSError:
                 pass
-            raise
+        self.quarantined += 1
+
+    def store(self, key: str, result: CompilationResult) -> None:
+        """Durably persist ``result`` under ``key`` (atomic, checksummed).
+
+        A failing write is swallowed and counted in ``store_errors``: the
+        cache accelerates later runs, it must never fail the run that is
+        trying to warm it.
+        """
+        path = self._path(key)
+        result_dict = result.to_dict()
+        payload = {
+            "key": key,
+            "checksum": payload_checksum(result_dict),
+            "result": result_dict,
+        }
+        tmp = None
+        try:
+            if self.faults is not None:
+                self.faults.on_write(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            tmp = None
+        except OSError:
+            self.store_errors += 1
+            return
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
         self.stores += 1
+        if self.faults is not None:
+            self.faults.after_write(path)
 
     def contains(self, key: str) -> bool:
         return self._path(key).is_file()
 
+    def health(self) -> dict:
+        """Counter snapshot for the service stats endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "read_errors": self.read_errors,
+            "store_errors": self.store_errors,
+        }
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.root.glob("[0-9a-f][0-9a-f]/*.json"))

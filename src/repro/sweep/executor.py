@@ -6,7 +6,9 @@ compiles through.  Resolution order for every job:
 1. **memo** — results already materialised in this process;
 2. **disk** — the content-addressed :class:`~repro.sweep.cache.CompileCache`;
 3. **compile** — in-process for single jobs, or fanned out over a
-   ``ProcessPoolExecutor`` by :meth:`SweepEngine.prefetch`.
+   :class:`~repro.sweep.supervisor.SupervisedPool` by
+   :meth:`SweepEngine.prefetch` (the pool survives worker crashes and
+   enforces per-job deadlines; see :mod:`repro.sweep.supervisor`).
 
 Workers ship results back as their stable ``to_dict`` form (the same bytes
 the cache persists), so a result is identical whether it was computed
@@ -30,10 +32,10 @@ tears the pool down on exit.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..compiler.config import CompilerConfig
 from ..compiler.pipeline import FaultTolerantCompiler
@@ -42,6 +44,7 @@ from ..ir.circuit import Circuit
 from .cache import CompileCache
 from .jobs import CompileJob, job_key
 from .planner import plan_jobs
+from .supervisor import Fault, SupervisedPool
 
 
 @dataclass
@@ -92,6 +95,15 @@ class SweepEngine:
             lazily on first use, :meth:`submit` dispatches single jobs to
             it, and :meth:`shutdown` (or the context-manager exit) tears
             it down.
+        job_deadline: per-job compile budget in seconds enforced by the
+            worker pool (None = unbounded).  A wedged worker is killed and
+            the job retried; exhausted budgets surface as
+            :class:`~repro.sweep.supervisor.JobTimeout`.
+        job_attempts: attempts per job before a worker crash or deadline
+            expiry becomes the job's failure (1 = never retry).
+        worker_faults: optional seeded ``(job_seq, attempt) -> Fault``
+            hook forwarded to the pool — the chaos harness's entry point
+            for deterministic worker kills and stalls.
     """
 
     def __init__(
@@ -100,15 +112,21 @@ class SweepEngine:
         cache: Optional[CompileCache] = None,
         validate: bool = False,
         persistent: bool = False,
+        job_deadline: Optional[float] = None,
+        job_attempts: int = 3,
+        worker_faults: Optional[Callable[[int, int], Fault]] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.validate = validate
         self.persistent = bool(persistent)
+        self.job_deadline = job_deadline
+        self.job_attempts = max(1, int(job_attempts))
+        self.worker_faults = worker_faults
         self.counters = SweepCounters()
         self._memo: Dict[str, CompilationResult] = {}
         self._validated: set = set()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: Optional[SupervisedPool] = None
         # guards memo/counter mutation on the service paths, where
         # cached_result/adopt run on multiple executor threads at once
         self._lock = threading.Lock()
@@ -205,7 +223,7 @@ class SweepEngine:
 
     # -- long-lived service API ---------------------------------------------
 
-    def pool(self) -> ProcessPoolExecutor:
+    def pool(self) -> SupervisedPool:
         """The persistent worker pool, created lazily on first use.
 
         Only available on engines constructed with ``persistent=True`` —
@@ -218,8 +236,22 @@ class SweepEngine:
                 "(construct with SweepEngine(..., persistent=True))"
             )
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = self._make_pool(self.jobs)
         return self._pool
+
+    def _make_pool(self, workers: int) -> SupervisedPool:
+        return SupervisedPool(
+            workers=workers,
+            deadline=self.job_deadline,
+            max_attempts=self.job_attempts,
+            fault_hook=self.worker_faults,
+        )
+
+    def pool_stats(self) -> Optional[Dict[str, int]]:
+        """Supervision counters of the live pool (None before first use)."""
+        if self._pool is None:
+            return None
+        return self._pool.stats.as_dict()
 
     def submit(self, circuit: Circuit, config: CompilerConfig) -> "Future[dict]":
         """Dispatch one compile to the persistent pool.
@@ -344,12 +376,12 @@ class SweepEngine:
             self._collect(self.pool(), missing, progress, tolerant)
         else:
             workers = min(self.jobs, len(missing))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with self._make_pool(workers) as pool:
                 self._collect(pool, missing, progress, tolerant)
 
     def _collect(
         self,
-        pool: ProcessPoolExecutor,
+        pool: SupervisedPool,
         missing: List[CompileJob],
         progress,
         tolerant: bool = False,

@@ -1,0 +1,452 @@
+"""Supervised worker pool: crash detection, respawn, deadlines, retries.
+
+``concurrent.futures.ProcessPoolExecutor`` treats any worker death as
+fatal: the pool flips to ``BrokenProcessPool``, every pending future
+fails, and the executor is unusable afterwards.  For a long-lived compile
+service that is exactly wrong — one OOM-killed or wedged worker must cost
+*one retried job*, not the whole server.  :class:`SupervisedPool` is the
+replacement the sweep engine and the compile service run on:
+
+* **crash detection** — a supervisor thread polls worker liveness; a
+  worker that dies (crash, ``kill -9``, OOM) is noticed within one poll
+  interval and the job it was running is requeued on a fresh worker with
+  a bounded attempt budget (:class:`JobCrashed` once the budget is spent);
+* **deadlines** — a job that runs past ``deadline`` seconds has its
+  worker killed and is retried the same way (:class:`JobTimeout` once the
+  budget is spent), so a wedged compile can never hang a client forever;
+* **pool recycling** — because SIGKILL can land while a worker holds the
+  shared result queue's internal write lock, any worker death
+  conservatively discards every queue and respawns the whole fleet; jobs
+  running innocently on healthy workers are requeued without burning an
+  attempt, and results already in flight are drained first (after the
+  fleet is dead, so nothing is mid-write) so finished work is never
+  recompiled;
+* **deterministic fault injection** — an optional ``fault_hook``
+  (see :mod:`repro.faultinject`) decides per ``(job_seq, attempt)``
+  whether the worker executing that attempt should kill itself or stall,
+  which is how the chaos harness turns worker failure into a seeded,
+  reproducible event instead of an external race.
+
+Scheduling is supervisor-side: each worker has a private inbox and holds
+at most one job, so a death is attributed to exactly the job its worker
+was assigned — no announcement message that a SIGKILL could swallow.
+Results are delivered through ordinary :class:`concurrent.futures.Future`
+objects, so the pool drops into every call site that used
+``ProcessPoolExecutor.submit(fn, payload)``.  Retrying is safe here by
+construction: compilation is deterministic and results are
+content-addressed, so attempt N produces the same bytes attempt 1 would
+have.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+#: fault verdicts a ``fault_hook`` may return for one (job_seq, attempt).
+FAULT_KILL = "kill"  #: worker SIGKILLs itself instead of running the job
+FAULT_HANG = "hang"  #: worker stalls ``seconds`` before running the job
+
+#: type of the seeded fault decision: None, ("kill",) or ("hang", seconds).
+Fault = Optional[Tuple]
+
+#: supervisor poll cadence; also the detection latency for a dead worker.
+DEFAULT_POLL_S = 0.02
+
+
+class JobFailure(RuntimeError):
+    """Base class for jobs the pool could not complete."""
+
+    #: machine-readable cause, mirrored into service error frames.
+    code = "job-failed"
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class JobCrashed(JobFailure):
+    """The worker running this job died on every allowed attempt."""
+
+    code = "worker-crashed"
+
+
+class JobTimeout(JobFailure):
+    """The job exceeded its compile deadline on every allowed attempt."""
+
+    code = "deadline-exceeded"
+
+
+@dataclass
+class PoolStats:
+    """Counters the supervisor keeps (exposed via service ``stats``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0  # job raised inside the worker (not retried)
+    crashes: int = 0  # worker deaths observed
+    timeouts: int = 0  # deadline expiries observed
+    retries: int = 0  # job re-dispatches that burned an attempt
+    requeues: int = 0  # innocent re-dispatches after a pool recycle
+    restarts: int = 0  # worker processes (re)spawned after the initial fleet
+    recycles: int = 0  # full pool teardown+respawn events
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "restarts": self.restarts,
+            "recycles": self.recycles,
+        }
+
+
+def _apply_fault(fault: Fault) -> None:
+    """Execute one injected fault verdict inside the worker."""
+    if not fault:
+        return
+    if fault[0] == FAULT_KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault[0] == FAULT_HANG:
+        time.sleep(float(fault[1]))
+
+
+def _worker_main(inbox, results) -> None:
+    """Worker loop: take one job from the private inbox, ship the outcome."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        job_id, fn, payload, fault = item
+        _apply_fault(fault)
+        try:
+            outcome = (job_id, True, fn(payload))
+        except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+            outcome = (job_id, False, f"{type(exc).__name__}: {exc}")
+        results.put(outcome)
+
+
+@dataclass
+class _Job:
+    """Supervisor-side state of one submitted job."""
+
+    job_id: int
+    fn: Callable
+    payload: Any
+    future: Future
+    attempts: int = 0  # incremented at each dispatch
+    started_at: Optional[float] = None
+    deadline: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self.started_at is not None
+
+
+class _Worker:
+    """One worker process plus its private job inbox."""
+
+    def __init__(self, ctx, results) -> None:
+        self.inbox = ctx.SimpleQueue()
+        self.current: Optional[int] = None  # job_id being worked on
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(self.inbox, results),
+            name="repro-pool-worker",
+            daemon=True,
+        )
+        self.proc.start()
+
+
+class SupervisedPool:
+    """A process pool that survives its workers.
+
+    Args:
+        workers: number of worker processes kept alive.
+        deadline: per-job wall-clock budget in seconds (None = unbounded).
+            A job past its deadline has its worker killed and is retried.
+        max_attempts: total tries per job before it fails with
+            :class:`JobCrashed` / :class:`JobTimeout` (1 = never retry).
+        fault_hook: optional ``(job_seq, attempt) -> Fault`` callable used
+            by the chaos harness to inject deterministic worker faults.
+        poll: supervisor poll interval (liveness + deadline checks).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        deadline: Optional[float] = None,
+        max_attempts: int = 3,
+        fault_hook: Optional[Callable[[int, int], Fault]] = None,
+        poll: float = DEFAULT_POLL_S,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.deadline = deadline
+        self.max_attempts = max(1, int(max_attempts))
+        self.fault_hook = fault_hook
+        self.poll = poll
+        self.stats = PoolStats()
+        self._ctx = multiprocessing.get_context()
+        # reentrant: _recycle holds it across drains that re-take it
+        self._lock = threading.RLock()
+        self._jobs: Dict[int, _Job] = {}
+        self._backlog: Deque[int] = deque()
+        self._next_id = 0
+        self._closed = False
+        self._results = self._ctx.Queue()
+        self._fleet: List[_Worker] = [
+            _Worker(self._ctx, self._results) for _ in range(self.workers)
+        ]
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, fn: Callable, payload: Any) -> Future:
+        """Dispatch one job; the future resolves to ``fn(payload)``.
+
+        Signature-compatible with ``ProcessPoolExecutor.submit`` for the
+        single-argument call shape the sweep engine uses.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a shut-down pool")
+            job_id = self._next_id
+            self._next_id += 1
+            job = _Job(job_id=job_id, fn=fn, payload=payload, future=future)
+            job.deadline = self.deadline
+            self._jobs[job_id] = job
+            self._backlog.append(job_id)
+            self.stats.submitted += 1
+            self._pump()
+        return future
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current worker fleet (for kill -9 style tests)."""
+        with self._lock:
+            return [w.proc.pid for w in self._fleet if w.proc.pid is not None]
+
+    @property
+    def unfinished(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Stop the supervisor and terminate the worker fleet (idempotent)."""
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            if cancel_futures:
+                for job in list(self._jobs.values()):
+                    if not job.running and job.future.cancel():
+                        self._jobs.pop(job.job_id, None)
+        if already:
+            return
+        if wait:
+            deadline = time.monotonic() + 30.0
+            while self.unfinished and time.monotonic() < deadline:
+                time.sleep(self.poll)
+        self._supervisor.join(timeout=10.0)
+        with self._lock:
+            self._kill_fleet()
+            self._discard_channels()
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=not any(exc_info))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Assign backlog jobs to idle workers.  Caller holds the lock."""
+        for worker in self._fleet:
+            if worker.current is not None:
+                continue
+            while self._backlog:
+                job = self._jobs.get(self._backlog.popleft())
+                if job is None or job.future.cancelled():
+                    continue
+                job.attempts += 1
+                fault = None
+                if self.fault_hook is not None:
+                    fault = self.fault_hook(job.job_id, job.attempts)
+                worker.current = job.job_id
+                job.started_at = time.monotonic()
+                worker.inbox.put((job.job_id, job.fn, job.payload, fault))
+                break
+
+    def _kill_fleet(self) -> None:
+        for worker in self._fleet:
+            if worker.proc.is_alive() and worker.proc.pid is not None:
+                try:
+                    os.kill(worker.proc.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+        for worker in self._fleet:
+            worker.proc.join(timeout=5.0)
+
+    def _discard_channels(self) -> None:
+        for worker in self._fleet:
+            try:
+                worker.inbox.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            self._results.cancel_join_thread()
+            self._results.close()
+        except (OSError, ValueError):
+            pass
+
+    # -- the supervisor loop -------------------------------------------------
+
+    def _supervise(self) -> None:
+        while True:
+            self._drain_results(block=True)
+            with self._lock:
+                if self._closed and not self._jobs:
+                    for worker in self._fleet:
+                        try:
+                            worker.inbox.put(None)
+                        except (OSError, ValueError):
+                            pass
+                    return
+            cause = self._check_deadlines() or self._check_liveness()
+            if cause is not None:
+                self._recycle(cause)
+
+    def _drain_results(self, block: bool) -> None:
+        """Apply every available worker message; at most one blocking get."""
+        timeout: Optional[float] = self.poll if block else None
+        while True:
+            try:
+                if timeout is not None:
+                    message = self._results.get(timeout=timeout)
+                else:
+                    message = self._results.get_nowait()
+            except Exception:  # queue.Empty, or a torn queue mid-recycle
+                return
+            timeout = None  # only the first get blocks
+            self._apply_result(message)
+
+    def _apply_result(self, message) -> None:
+        job_id, ok, payload = message
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            for worker in self._fleet:
+                if worker.current == job_id:
+                    worker.current = None
+            if job is not None and not job.future.cancelled():
+                if ok:
+                    self.stats.completed += 1
+                    job.future.set_result(payload)
+                else:
+                    # an exception raised by fn is deterministic — it would
+                    # fail identically on a retry, so it is not retried
+                    self.stats.failed += 1
+                    job.future.set_exception(RuntimeError(payload))
+            self._pump()
+
+    def _check_deadlines(self) -> Optional[Tuple[str, int]]:
+        """A ("timeout", job_id) when a running job is past its deadline."""
+        now = time.monotonic()
+        with self._lock:
+            for job in self._jobs.values():
+                if (
+                    job.running
+                    and job.deadline is not None
+                    and now - job.started_at > job.deadline
+                ):
+                    return ("timeout", job.job_id)
+        return None
+
+    def _check_liveness(self) -> Optional[Tuple[str, Optional[int]]]:
+        """A ("crash", job_id-or-None) when a worker process has died."""
+        with self._lock:
+            for worker in self._fleet:
+                if not worker.proc.is_alive():
+                    return ("crash", worker.current)
+        return None
+
+    def _recycle(self, cause: Tuple[str, Optional[int]]) -> None:
+        """Tear down and respawn the whole fleet after a fault.
+
+        SIGKILL can land while a worker holds the shared result queue's
+        write lock, which would wedge every other worker's result put — so
+        the queues are replaced along with the processes.  Results already
+        in the old queue are drained first (the fleet is dead by then, so
+        nothing is mid-write) and every unfinished job is re-dispatched;
+        only the job that caused the fault burns an attempt.
+        """
+        kind, victim_id = cause
+        # the whole recycle holds the lock so a concurrent submit() can
+        # never target a channel that is about to be discarded (the fleet
+        # is dead before the drain, so nothing here can block on a worker)
+        with self._lock:
+            self._kill_fleet()
+            self._drain_results(block=False)
+            self._discard_channels()
+            self.stats.recycles += 1
+            if kind == "crash":
+                self.stats.crashes += 1
+            else:
+                self.stats.timeouts += 1
+
+            # drained results may have completed the victim already — only
+            # a still-unfinished victim burns an attempt
+            victim = self._jobs.get(victim_id) if victim_id is not None else None
+            if victim is not None:
+                if victim.attempts >= self.max_attempts:
+                    self._jobs.pop(victim.job_id, None)
+                    if not victim.future.cancelled():
+                        exc_type = JobTimeout if kind == "timeout" else JobCrashed
+                        what = (
+                            f"exceeded its {victim.deadline:.3g}s deadline"
+                            if kind == "timeout"
+                            else "crashed its worker"
+                        )
+                        victim.future.set_exception(
+                            exc_type(
+                                f"job {what} on each of "
+                                f"{victim.attempts} attempt(s)",
+                                attempts=victim.attempts,
+                            )
+                        )
+                else:
+                    self.stats.retries += 1
+
+            self._results = self._ctx.Queue()
+            self._fleet = [
+                _Worker(self._ctx, self._results) for _ in range(self.workers)
+            ]
+            self.stats.restarts += self.workers
+
+            # every survivor goes back to the backlog (its previous inbox
+            # died with the old fleet); innocents keep their attempt count
+            self._backlog.clear()
+            for job in sorted(self._jobs.values(), key=lambda j: j.job_id):
+                if job.future.cancelled():
+                    self._jobs.pop(job.job_id, None)
+                    continue
+                if job.job_id != victim_id:
+                    if job.running:
+                        self.stats.requeues += 1
+                    job.attempts = max(0, job.attempts - 1)  # no penalty
+                job.started_at = None
+                self._backlog.append(job.job_id)
+            self._pump()

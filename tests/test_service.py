@@ -405,7 +405,20 @@ class TestServiceValidation:
         payload["schedule"]["ops"][0]["start"] = -5.0  # structure violation
         cache_path = tmp_path / key[:2] / f"{key}.json"
         cache_path.parent.mkdir(parents=True)
-        cache_path.write_text(json.dumps({"key": key, "result": payload}))
+        # checksum the tampered payload so the entry passes the cache's
+        # integrity layer — this test targets replay validation, the layer
+        # that catches corruption the checksum cannot (valid JSON, bad plan)
+        from repro.sweep.cache import payload_checksum
+
+        cache_path.write_text(
+            json.dumps(
+                {
+                    "key": key,
+                    "checksum": payload_checksum(payload),
+                    "result": payload,
+                }
+            )
+        )
 
         with ServiceThread(
             jobs=1, cache=CompileCache(tmp_path), validate=True

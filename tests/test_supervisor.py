@@ -1,0 +1,173 @@
+"""Tests for the supervised worker pool (repro.sweep.supervisor).
+
+Covers the happy path, fault-hook kills and hangs, external SIGKILL of a
+worker mid-job, per-job deadlines, retry-budget exhaustion surfacing as
+structured JobCrashed / JobTimeout, worker-side exceptions (not retried —
+the compiler is deterministic), and innocent-job requeueing when a fleet
+recycle tears down jobs that did nothing wrong.
+
+Worker functions must be importable from the spawned processes, so they
+live at module scope.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.sweep.supervisor import (
+    FAULT_HANG,
+    FAULT_KILL,
+    JobCrashed,
+    JobFailure,
+    JobTimeout,
+    SupervisedPool,
+)
+
+
+def square(payload):
+    return payload * payload
+
+
+def slow_square(payload):
+    time.sleep(0.2)
+    return payload * payload
+
+
+def boom(payload):
+    raise ValueError(f"cannot compile {payload!r}")
+
+
+def _fault_once(fault):
+    """A fault hook that fires on the first dispatch only."""
+    fired = []
+
+    def hook(job_seq, attempt):
+        if not fired:
+            fired.append(job_seq)
+            return fault
+        return None
+
+    return hook
+
+
+class TestHappyPath:
+    def test_submit_and_result(self):
+        with SupervisedPool(workers=2) as pool:
+            futures = [pool.submit(square, n) for n in range(8)]
+            assert [f.result(timeout=30) for f in futures] == [
+                n * n for n in range(8)
+            ]
+            assert pool.stats.completed == 8
+            assert pool.stats.restarts == 0
+
+    def test_stats_dict_shape(self):
+        with SupervisedPool(workers=1) as pool:
+            pool.submit(square, 3).result(timeout=30)
+            stats = pool.stats.as_dict()
+        for field in ("submitted", "completed", "failed", "crashes",
+                      "timeouts", "retries", "requeues", "restarts"):
+            assert field in stats
+
+
+class TestFaultRecovery:
+    def test_scripted_kill_is_retried(self):
+        with SupervisedPool(
+            workers=1, fault_hook=_fault_once((FAULT_KILL,))
+        ) as pool:
+            assert pool.submit(square, 5).result(timeout=30) == 25
+            assert pool.stats.crashes == 1
+            assert pool.stats.retries == 1
+            assert pool.stats.restarts >= 1
+
+    def test_external_sigkill_is_retried(self):
+        with SupervisedPool(workers=1, deadline=30.0) as pool:
+            future = pool.submit(slow_square, 6)
+            # murder the worker from outside while it sleeps in the job
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                pids = pool.worker_pids()
+                if pids:
+                    os.kill(pids[0], signal.SIGKILL)
+                    break
+                time.sleep(0.01)
+            assert future.result(timeout=30) == 36
+            assert pool.stats.crashes >= 1
+
+    def test_deadline_kill_is_retried(self):
+        with SupervisedPool(
+            workers=1, deadline=0.5, fault_hook=_fault_once((FAULT_HANG, 30.0))
+        ) as pool:
+            assert pool.submit(square, 7).result(timeout=30) == 49
+            assert pool.stats.timeouts == 1
+
+    def test_crash_budget_exhausted_raises_job_crashed(self):
+        def always_kill(job_seq, attempt):
+            return (FAULT_KILL,)
+
+        with SupervisedPool(
+            workers=1, max_attempts=2, fault_hook=always_kill
+        ) as pool:
+            future = pool.submit(square, 8)
+            with pytest.raises(JobCrashed) as err:
+                future.result(timeout=60)
+            assert err.value.attempts == 2
+            assert err.value.code == "worker-crashed"
+            assert pool.stats.crashes == 2
+
+    def test_hang_budget_exhausted_raises_job_timeout(self):
+        def always_hang(job_seq, attempt):
+            return (FAULT_HANG, 30.0)
+
+        with SupervisedPool(
+            workers=1, deadline=0.3, max_attempts=2, fault_hook=always_hang
+        ) as pool:
+            future = pool.submit(square, 9)
+            with pytest.raises(JobTimeout) as err:
+                future.result(timeout=60)
+            assert err.value.attempts == 2
+            assert err.value.code == "deadline-exceeded"
+
+    def test_worker_exception_not_retried(self):
+        with SupervisedPool(workers=1) as pool:
+            future = pool.submit(boom, "bad")
+            with pytest.raises(RuntimeError, match="cannot compile"):
+                future.result(timeout=30)
+            # deterministic failure: one dispatch, no retries
+            assert pool.stats.retries == 0
+            assert pool.stats.crashes == 0
+            # the pool keeps serving after a job-level failure
+            assert pool.submit(square, 4).result(timeout=30) == 16
+
+    def test_innocent_jobs_survive_recycle(self):
+        """A fleet recycle requeues bystander jobs without burning attempts."""
+        with SupervisedPool(
+            workers=2, max_attempts=2, fault_hook=_fault_once((FAULT_KILL,))
+        ) as pool:
+            futures = [pool.submit(slow_square, n) for n in range(6)]
+            assert [f.result(timeout=60) for f in futures] == [
+                n * n for n in range(6)
+            ]
+            assert pool.stats.crashes == 1
+            assert pool.stats.recycles == 1
+
+
+class TestLifecycle:
+    def test_shutdown_cancels_backlog(self):
+        pool = SupervisedPool(workers=1)
+        done = pool.submit(square, 2)
+        assert done.result(timeout=30) == 4
+        pool.shutdown(wait=True)
+        with pytest.raises(RuntimeError):
+            pool.submit(square, 3)
+
+    def test_fleet_respawns_to_full_strength(self):
+        with SupervisedPool(
+            workers=2, fault_hook=_fault_once((FAULT_KILL,))
+        ) as pool:
+            pool.submit(square, 1).result(timeout=30)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and len(pool.worker_pids()) < 2:
+                time.sleep(0.01)
+            assert len(pool.worker_pids()) == 2
