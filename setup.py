@@ -1,5 +1,30 @@
-"""Legacy setup shim (the offline environment lacks the wheel package)."""
+"""Legacy setup shim (the offline environment lacks the wheel package).
 
-from setuptools import setup
+Install with ``pip install -e .`` for the pure-Python package, or
+``pip install -e .[fast]`` to pull in numpy for the vectorized compute
+kernels (``repro.kernels``).  The package is fully functional without the
+extra — every kernel has a bit-identical pure-Python implementation and
+the backend falls back automatically (see ``repro.kernels``).
+"""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+version = re.search(r'__version__ = "([^"]+)"', _init.read_text()).group(1)
+
+setup(
+    name="repro",
+    version=version,
+    description="Early-FTQC lattice-surgery compiler reproduction",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={
+        # vectorized routing/validation kernels; optional by design —
+        # the pure backend is always available and bit-identical.
+        "fast": ["numpy"],
+    },
+)

@@ -47,6 +47,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..perf.profiler import profiled
+
 Position = Tuple[int, int]
 
 
@@ -102,6 +104,7 @@ def _tables_for(rows: int, cols: int) -> tuple:
     ]
     nbr_pos: List[Tuple[Position, ...]] = []
     nbr_idx: List[Tuple[int, ...]] = []
+    nbr_sorted: List[Tuple[Tuple[Position, int], ...]] = []
     diag_pos: List[Tuple[Position, ...]] = []
     for r, c in positions:
         quad = [(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
@@ -110,11 +113,23 @@ def _tables_for(rows: int, cols: int) -> tuple:
         ]
         nbr_pos.append(tuple(inside))
         nbr_idx.append(tuple(p[0] * cols + p[1] for p in inside))
+        # Row-major position order (flat indices compare like positions) —
+        # lets callers that need deterministic sorted neighbour scans skip
+        # the per-call sort.
+        nbr_sorted.append(
+            tuple(sorted((p, p[0] * cols + p[1]) for p in inside))
+        )
         diag = [(r - 1, c - 1), (r - 1, c + 1), (r + 1, c - 1), (r + 1, c + 1)]
         diag_pos.append(
             tuple(p for p in diag if 0 <= p[0] < rows and 0 <= p[1] < cols)
         )
-    tables = (tuple(positions), tuple(nbr_pos), tuple(nbr_idx), tuple(diag_pos))
+    tables = (
+        tuple(positions),
+        tuple(nbr_pos),
+        tuple(nbr_idx),
+        tuple(nbr_sorted),
+        tuple(diag_pos),
+    )
     _SHAPE_TABLES[(rows, cols)] = tables
     return tables
 
@@ -148,6 +163,10 @@ class Grid:
         n = rows * cols
         self._role: List[CellRole] = [CellRole.BUS] * n
         self._occ: List[Optional[int]] = [None] * n
+        #: occupancy as a bytearray mirror of ``_occ`` (1 = occupied) —
+        #: maintained incrementally by every mutation so the numpy kernels
+        #: can view the live state zero-copy (np.frombuffer) with no rebuild.
+        self._occ_b = bytearray(n)
         self._routable_b = bytearray([1]) * n
         self._parkable_b = bytearray([1]) * n
         self._qubit_position: Dict[int, Position] = {}
@@ -155,6 +174,7 @@ class Grid:
             self._positions,
             self._nbr_pos,
             self._nbr_idx,
+            self._nbr_sorted,
             self._diag_pos,
         ) = _tables_for(rows, cols)
         #: state id: bumped to a fresh value on every mutation; rollback
@@ -270,6 +290,7 @@ class Grid:
         if self._scratch_depth:
             self._undo.append(("place", qubit, i))
         self._occ[i] = qubit
+        self._occ_b[i] = 1
         self._qubit_position[qubit] = pos
         self._epoch_counter += 1
         self._epoch = self._epoch_counter
@@ -281,6 +302,7 @@ class Grid:
         if self._scratch_depth:
             self._undo.append(("remove", qubit, i))
         self._occ[i] = None
+        self._occ_b[i] = 0
         del self._qubit_position[qubit]
         self._epoch_counter += 1
         self._epoch = self._epoch_counter
@@ -292,7 +314,10 @@ class Grid:
             origin = self._qubit_position[qubit]
         except KeyError as exc:
             raise GridError(f"qubit {qubit} is not placed") from exc
-        j = self._index(dest)
+        r, c = dest
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise GridError(f"position {dest} outside {self.rows}x{self.cols} grid")
+        j = r * self.cols + c
         occupant = self._occ[j]
         if occupant is not None:
             raise GridError(
@@ -304,9 +329,11 @@ class Grid:
             self._undo.append(("move", qubit, i))
         self._occ[i] = None
         self._occ[j] = qubit
+        occ_b = self._occ_b
+        occ_b[i] = 0
+        occ_b[j] = 1
         self._qubit_position[qubit] = dest
-        self._epoch_counter += 1
-        self._epoch = self._epoch_counter
+        self._epoch = self._epoch_counter = self._epoch_counter + 1
         return origin
 
     def position_of(self, qubit: int) -> Position:
@@ -345,6 +372,21 @@ class Grid:
             if occ[j] is None and parkable[j]
         ]
 
+    def free_neighbors_sorted(self, pos: Position) -> List[Position]:
+        """:meth:`free_neighbors` in row-major (sorted-position) order.
+
+        Uses the precomputed sorted neighbour table, so deterministic
+        tie-breaking scans (the displacement ladder) pay no per-call sort.
+        """
+        i = self._index(pos)
+        occ = self._occ
+        parkable = self._parkable_b
+        return [
+            p
+            for p, j in self._nbr_sorted[i]
+            if occ[j] is None and parkable[j]
+        ]
+
     def routable(self, pos: Position) -> bool:
         """Cells magic states / moves may traverse (not factory interiors)."""
         r, c = pos
@@ -361,6 +403,7 @@ class Grid:
 
     # -- copying and scratch mode -----------------------------------------------
 
+    @profiled("grid.clone")
     def clone(self) -> "Grid":
         """Independent deep copy (array copies; geometry tables shared)."""
         dup = Grid.__new__(Grid)
@@ -368,12 +411,14 @@ class Grid:
         dup.cols = self.cols
         dup._role = list(self._role)
         dup._occ = list(self._occ)
+        dup._occ_b = bytearray(self._occ_b)
         dup._routable_b = bytearray(self._routable_b)
         dup._parkable_b = bytearray(self._parkable_b)
         dup._qubit_position = dict(self._qubit_position)
         dup._positions = self._positions
         dup._nbr_pos = self._nbr_pos
         dup._nbr_idx = self._nbr_idx
+        dup._nbr_sorted = self._nbr_sorted
         dup._diag_pos = self._diag_pos
         dup._epoch = 0
         dup._epoch_counter = 0
@@ -408,6 +453,7 @@ class Grid:
         mark, epoch = token
         undo = self._undo
         occ = self._occ
+        occ_b = self._occ_b
         qpos = self._qubit_position
         while len(undo) > mark:
             entry = undo.pop()
@@ -415,16 +461,21 @@ class Grid:
             if kind == "move":
                 __, qubit, i = entry
                 cur = qpos[qubit]
-                occ[cur[0] * self.cols + cur[1]] = None
+                j = cur[0] * self.cols + cur[1]
+                occ[j] = None
+                occ_b[j] = 0
                 occ[i] = qubit
+                occ_b[i] = 1
                 qpos[qubit] = self._positions[i]
             elif kind == "place":
                 __, qubit, i = entry
                 occ[i] = None
+                occ_b[i] = 0
                 del qpos[qubit]
             elif kind == "remove":
                 __, qubit, i = entry
                 occ[i] = qubit
+                occ_b[i] = 1
                 qpos[qubit] = self._positions[i]
             else:  # "role"
                 __, i, old = entry

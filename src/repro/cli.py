@@ -114,6 +114,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_perf.add_argument("--validate", action="store_true",
                             help="replay-validate every case's schedule "
                                  "outside the timed region")
+    bench_perf.add_argument("--profile", action="store_true",
+                            help="run one instrumented compile per case after "
+                                 "the timed repetitions and attach the "
+                                 "per-phase breakdown as meta.phases")
+    bench_perf.add_argument("--backend", choices=("auto", "pure", "numpy"),
+                            default="auto",
+                            help="compute-kernel backend for the whole run "
+                                 "(results are bit-identical across backends)")
+    bench_perf.add_argument("--compare", nargs=2, metavar=("A.json", "B.json"),
+                            default=None,
+                            help="compare two existing BENCH_*.json files "
+                                 "(per-case and per-phase speedups; exit 1 on "
+                                 "fingerprint drift) instead of running")
 
     serve_cmd = sub.add_parser(
         "serve", help="run the TCP compile service (JSON lines, see repro.service)"
@@ -293,6 +306,31 @@ def _cmd_bench(args) -> int:
 
     from .perf import bench_cases, compare_reports, has_drift, run_bench
 
+    if args.compare:
+        from .perf.bench import compare_phases, report_from_dict
+
+        path_a, path_b = args.compare
+        try:
+            with open(path_a) as handle:
+                base = json.load(handle)
+            with open(path_b) as handle:
+                cur = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read report: {exc}")
+            return 2
+        current = report_from_dict(cur)
+        for line in compare_reports(base, current):
+            print(line)
+        phase_lines = compare_phases(base.get("meta", {}), current.meta)
+        if phase_lines:
+            print()
+            for line in phase_lines:
+                print(line)
+        if has_drift(base, current):
+            print(f"error: behavioural fingerprint drift: {path_a} vs {path_b}")
+            return 1
+        return 0
+
     if not bench_cases(args.fast, args.workloads):
         known = sorted({c.workload for c in bench_cases(args.fast)})
         print(f"error: no benchmark cases match --workload {args.workloads}")
@@ -316,13 +354,23 @@ def _cmd_bench(args) -> int:
             jobs=args.jobs,
             cache_dir=None if args.no_cache else args.cache_dir,
             validate=args.validate,
+            profile=args.profile,
+            backend=args.backend,
         )
     except ValidationError as exc:
         print(exc.report.summary())
         print("error: schedule failed replay validation")
         return 1
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     print()
     print(report.to_text())
+    if args.profile:
+        from .perf.bench import phases_table
+
+        print()
+        print(phases_table(report.meta.get("phases", {})))
     if args.validate:
         print(f"[verify] {len(report.cases)} case schedule(s) replay-validated, 0 violations")
     output = args.output if args.output is not None else BENCH_FILENAME

@@ -27,6 +27,11 @@ class CompilerConfig:
         eliminate_redundant_moves: run the Sec. V-D scheduling pass.
         compute_unit_cost_time: also schedule with the unit-cost instruction
             set (needed for Fig. 8's second series; costs one extra run).
+        backend: compute-kernel backend — "auto" (numpy for large arrays
+            when importable, pure Python otherwise), "pure" or "numpy".
+            Results are bit-identical across backends, so this knob never
+            participates in sweep cache keys (see
+            :func:`repro.sweep.jobs.config_fingerprint`).
     """
 
     routing_paths: int = 4
@@ -38,6 +43,7 @@ class CompilerConfig:
     lookahead: bool = True
     eliminate_redundant_moves: bool = True
     compute_unit_cost_time: bool = False
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.routing_paths < 1:
@@ -46,6 +52,8 @@ class CompilerConfig:
             raise ValueError("num_factories must be >= 1")
         if self.mapping not in ("auto", "grid", "snake"):
             raise ValueError(f"unknown mapping strategy {self.mapping!r}")
+        if self.backend not in ("auto", "pure", "numpy"):
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     def factory_config(self) -> FactoryConfig:
         """Resolved distillation parameters."""

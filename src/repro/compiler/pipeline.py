@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import kernels
 from ..arch.instruction_set import InstructionSet
 from ..arch.layout import Layout, assign_factory_ports, build_layout
 from ..baselines.lower_bound import distillation_lower_bound
 from ..ir.circuit import Circuit
 from ..ir.properties import profile
+from ..perf.profiler import phase
 from ..scheduling.resim import optimize_schedule
 from ..scheduling.scheduler import LatticeSurgeryScheduler
 from .config import CompilerConfig
@@ -55,18 +57,31 @@ class FaultTolerantCompiler:
                 Also forced on by the ``REPRO_VALIDATE`` environment
                 variable (the debug assertion mode CI uses).
         """
+        # Pin the config's kernel backend for the whole compile (results
+        # are backend-independent; this only selects implementations).
+        with kernels.use_backend(self.config.backend):
+            return self._compile(circuit, layout, validate)
+
+    def _compile(
+        self,
+        circuit: Circuit,
+        layout: Optional[Layout],
+        validate: bool,
+    ) -> CompilationResult:
         config = self.config
         if not validate:
             from ..verify import env_forced
 
             validate = env_forced()
-        layout = layout or self.build_layout(circuit)
-        placement = choose_mapping(circuit, layout, config.mapping)
-        ports = assign_factory_ports(layout, config.num_factories)
+        with phase("pipeline.mapping"):
+            layout = layout or self.build_layout(circuit)
+            placement = choose_mapping(circuit, layout, config.mapping)
+            ports = assign_factory_ports(layout, config.num_factories)
 
-        schedule, stats = self._run_schedule(
-            circuit, layout, placement, ports, config.instruction_set
-        )
+        with phase("pipeline.schedule"):
+            schedule, stats, dag = self._run_schedule(
+                circuit, layout, placement, ports, config.instruction_set
+            )
         # The raw-stage pass only adds information when the Sec. V-D
         # optimisation will rewrite the schedule; otherwise the final
         # validation below covers the identical object.
@@ -74,18 +89,22 @@ class FaultTolerantCompiler:
             self._validate_schedule(schedule, circuit, "raw")
         elimination = None
         if config.eliminate_redundant_moves:
-            schedule, elimination = optimize_schedule(schedule)
+            with phase("pipeline.optimize"):
+                schedule, elimination = optimize_schedule(schedule)
 
         unit_time = None
         if config.compute_unit_cost_time:
-            unit_schedule, _ = self._run_schedule(
-                circuit, layout, placement, ports, InstructionSet.unit()
-            )
-            if config.eliminate_redundant_moves:
-                unit_schedule, _ = optimize_schedule(unit_schedule)
-            unit_time = unit_schedule.makespan
+            with phase("pipeline.unit_cost"):
+                unit_schedule, _, _ = self._run_schedule(
+                    circuit, layout, placement, ports, InstructionSet.unit()
+                )
+                if config.eliminate_redundant_moves:
+                    unit_schedule, _ = optimize_schedule(unit_schedule)
+                unit_time = unit_schedule.makespan
 
-        circuit_profile = profile(circuit)
+        # Reuse the scheduler's DAG: building it is the only expensive part
+        # of profiling and the circuit has not changed since scheduling.
+        circuit_profile = profile(circuit, dag=dag)
         t_states = config.synthesis.circuit_t_count(circuit)
         factory_config = config.factory_config()
         bound = distillation_lower_bound(
@@ -107,9 +126,10 @@ class FaultTolerantCompiler:
         if validate:
             from ..verify import raise_if_invalid, validate_result
 
-            raise_if_invalid(
-                validate_result(result, circuit, config, label=circuit.name)
-            )
+            with phase("pipeline.validate"):
+                raise_if_invalid(
+                    validate_result(result, circuit, config, label=circuit.name)
+                )
         return result
 
     def _validate_schedule(self, schedule, circuit, label: str) -> None:
@@ -137,7 +157,7 @@ class FaultTolerantCompiler:
             lookahead=self.config.lookahead,
         )
         schedule = scheduler.run(circuit, placement)
-        return schedule, scheduler.stats.as_dict()
+        return schedule, scheduler.stats.as_dict(), scheduler._dag
 
 
 def compile_circuit(

@@ -43,9 +43,18 @@ class CircuitProfile:
     parallelism: float
 
 
-def profile(circuit: Circuit, t_per_rotation: int = 1) -> CircuitProfile:
-    """Compute a :class:`CircuitProfile` for ``circuit``."""
-    dag = DagCircuit(circuit)
+def profile(
+    circuit: Circuit,
+    t_per_rotation: int = 1,
+    dag: DagCircuit = None,
+) -> CircuitProfile:
+    """Compute a :class:`CircuitProfile` for ``circuit``.
+
+    ``dag`` may supply an already-built :class:`DagCircuit` of the same
+    circuit (the compiler reuses the scheduler's), avoiding a rebuild.
+    """
+    if dag is None:
+        dag = DagCircuit(circuit)
     depth = dag.depth()
     counts = circuit.gate_counts()
     counts.pop(g.BARRIER, None)

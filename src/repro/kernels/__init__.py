@@ -1,0 +1,145 @@
+"""Backend-selectable compute kernels (pure Python vs vectorized numpy).
+
+The compiler's hot phases — multi-goal routing sweeps, reachability floods,
+replay-validation interval checks and the redundant-move scan — each exist
+in two interchangeable implementations:
+
+* **pure** — the always-available pure-Python reference (the default code
+  path throughout the package);
+* **numpy** — vectorized array kernels in :mod:`repro.kernels.numpy_impl`,
+  used when numpy is importable.
+
+Every kernel pair is *bit-identical*: same results, same tie-breaks, same
+behavioural fingerprints.  The numpy side is therefore a pure speed play
+and the fuzz harness runs a backend-parity oracle over both.
+
+Selection precedence (first non-"auto" wins):
+
+1. an explicit spec passed by the caller (e.g. ``CompilerConfig.backend``
+   pinned through :func:`use_backend`, or ``repro bench --backend``);
+2. the ``REPRO_BACKEND`` environment variable (``pure`` or ``numpy``);
+3. ``auto``: numpy when importable *and* the problem is large enough to
+   amortise array setup (per-kernel size thresholds below) — small inputs
+   stay on the pure path, which is faster there.
+
+Pinning ``numpy`` on a machine without numpy is an explicit error, never a
+silent fallback; :data:`invocations` counts each numpy-kernel call so tests
+can prove the backend really ran.  Backend choice must never leak into
+sweep cache keys (``config_fingerprint`` strips it).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+BACKENDS: Tuple[str, ...] = ("pure", "numpy")
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+#: numpy-kernel call counters keyed by kernel name.  Tests assert on these
+#: to prove the numpy backend is exercised (not silently falling back).
+invocations: Counter = Counter()
+
+#: 'auto' uses the numpy wave sweeps only on grids at least this large;
+#: below it the pure heap/BFS beats array setup overhead.
+WAVE_MIN_CELLS = 2048
+#: 'auto' uses the numpy interval kernels from this many intervals up.
+INTERVAL_MIN_OPS = 2048
+#: 'auto' uses the numpy redundant-move scan from this many ops up.
+#: High on purpose: the kernel vectorizes the last-use/last-touch
+#: precomputation but keeps a sequential per-move loop, and measured
+#: crossover vs the pure scan sits far above typical schedule sizes
+#: (at ~15k ops pure wins ~2x).  Pinning ``numpy`` still exercises it.
+REDUNDANT_MIN_OPS = 50_000
+
+_forced: Optional[str] = None
+
+
+def available() -> Tuple[str, ...]:
+    """Backends usable in this environment (``pure`` always is)."""
+    return BACKENDS if HAVE_NUMPY else ("pure",)
+
+
+def _pinned(spec: Optional[str]) -> Optional[str]:
+    """The first non-auto spec in precedence order, or None (= auto)."""
+    for candidate in (spec, _forced, os.environ.get("REPRO_BACKEND")):
+        if candidate not in (None, "", "auto"):
+            return candidate
+    return None
+
+
+def _validate(spec: str) -> str:
+    if spec not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {spec!r}; expected 'auto', 'pure' or 'numpy'"
+        )
+    if spec == "numpy" and not HAVE_NUMPY:
+        raise ValueError(
+            "backend 'numpy' requested but numpy is not importable "
+            "(install the '[fast]' extra, or use backend 'pure'/'auto')"
+        )
+    return spec
+
+
+def resolve(spec: Optional[str] = None) -> str:
+    """Resolve a backend spec to ``'pure'`` or ``'numpy'``.
+
+    ``None``/``"auto"`` fall through the precedence chain; an unpinned auto
+    resolves to numpy whenever it is importable (per-call size gating is
+    :func:`choose`'s job).  Raises ``ValueError`` for unknown specs and for
+    an explicit ``numpy`` pin without numpy installed.
+    """
+    pinned = _pinned(spec)
+    if pinned is None:
+        return "numpy" if HAVE_NUMPY else "pure"
+    return _validate(pinned)
+
+
+def choose(n_items: int, threshold: int, spec: Optional[str] = None) -> str:
+    """Backend for one kernel call of size ``n_items``.
+
+    A pinned backend always wins; unpinned ``auto`` takes numpy only when
+    ``n_items`` reaches ``threshold`` (one of the module constants).
+    """
+    pinned = _pinned(spec)
+    if pinned is not None:
+        return _validate(pinned)
+    if HAVE_NUMPY and n_items >= threshold:
+        return "numpy"
+    return "pure"
+
+
+def set_backend(spec: Optional[str]) -> None:
+    """Pin the process-wide backend (``None``/``"auto"`` unpins)."""
+    global _forced
+    if spec not in (None, "", "auto"):
+        _validate(spec)
+        globals()["_forced"] = spec
+    else:
+        globals()["_forced"] = None
+
+
+@contextmanager
+def use_backend(spec: Optional[str]) -> Iterator[str]:
+    """Scoped backend pin; yields the resolved backend name.
+
+    ``"auto"``/``None`` expresses no preference and leaves any surrounding
+    pin (an enclosing ``use_backend``, or ``set_backend``) in force rather
+    than clearing it.
+    """
+    global _forced
+    previous = _forced
+    if spec not in (None, "", "auto"):
+        set_backend(spec)
+    try:
+        yield resolve()
+    finally:
+        globals()["_forced"] = previous

@@ -1,0 +1,338 @@
+"""Vectorized numpy kernels (bit-identical to their pure counterparts).
+
+Every function here mirrors one pure-Python hot path exactly — same
+results, same tie-breaking, same float comparisons — so the backend choice
+can never change a schedule or a validation verdict.  See each docstring
+for the parity argument.  All kernels bump :data:`repro.kernels.invocations`
+so tests can prove they actually ran.
+
+Grid kernels read the grid's flat byte buffers zero-copy
+(``np.frombuffer`` over the occupancy / routability bytearrays) and share a
+per-shape padded neighbour table (geometry only, so one table serves every
+layout of that shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import invocations
+
+#: (rows, cols) -> padded (n, 4) int32 neighbour table, -1 terminated.
+_NBR_TABLES: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def neighbor_table(grid) -> np.ndarray:
+    """Padded flat-index neighbour table for the grid's shape (cached)."""
+    key = (grid.rows, grid.cols)
+    table = _NBR_TABLES.get(key)
+    if table is None:
+        if len(_NBR_TABLES) >= 64:
+            _NBR_TABLES.clear()
+        n = grid.rows * grid.cols
+        table = np.full((n, 4), -1, dtype=np.int32)
+        for i, nbrs in enumerate(grid._nbr_idx):
+            table[i, : len(nbrs)] = nbrs
+        _NBR_TABLES[key] = table
+    return table
+
+
+def occupancy_view(grid) -> np.ndarray:
+    """Zero-copy uint8 view of the grid's occupancy bytearray."""
+    return np.frombuffer(grid._occ_b, dtype=np.uint8)
+
+
+def routable_view(grid) -> np.ndarray:
+    """Zero-copy uint8 view of the grid's routability bytearray."""
+    return np.frombuffer(grid._routable_b, dtype=np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# Routing sweeps
+# ---------------------------------------------------------------------------
+
+
+def wave_paths_to_all(
+    grid,
+    src_i: int,
+    goal_i: frozenset,
+    avoid_i: frozenset,
+) -> Tuple[Dict[int, Tuple[int, int, int]], List[int]]:
+    """Free multi-goal sweep (``allow_occupied=False``) as a numpy wave.
+
+    Parity with the pure BFS specialisation in
+    :func:`repro.routing.dijkstra.find_paths_to_all` (itself proven
+    bit-identical to the heap sweep): with occupied cells forbidden, cost
+    equals length, and the heap expands each cost level in ascending
+    flat-index order — so the first strict improver of any cell, and the
+    first terminal arrival at any goal, is the *minimum-index* frontier
+    parent adjacent to it.  The wave reproduces exactly that with a
+    per-level lexsort on (target, parent) keeping the first parent per
+    target.  Returns the goal arrival dict (goal -> (length, 0, parent))
+    and the parent array for path reconstruction.
+    """
+    invocations["wave_to_all"] += 1
+    nbr = neighbor_table(grid)
+    n = nbr.shape[0]
+    transit_ok = (routable_view(grid) != 0) & (occupancy_view(grid) == 0)
+    if avoid_i:
+        transit_ok[np.fromiter(avoid_i, dtype=np.int64)] = False
+    goal_mask = np.zeros(n, dtype=bool)
+    goal_mask[np.fromiter(goal_i, dtype=np.int64)] = True
+    goal_done = np.zeros(n, dtype=bool)
+    seen = np.zeros(n, dtype=bool)
+    seen[src_i] = True
+    parent = np.full(n, -1, dtype=np.int64)
+    final: Dict[int, Tuple[int, int, int]] = {}
+    unsettled = len(goal_i)
+    frontier = np.array([src_i], dtype=np.int64)
+    length = 0
+
+    while frontier.size and unsettled:
+        length += 1
+        targets = nbr[frontier].ravel()
+        parents = np.repeat(frontier, 4)
+        inside = targets >= 0
+        targets = targets[inside]
+        parents = parents[inside]
+        # First parent per target in ascending-parent order == the pure
+        # sweep's first-improver (frontier is kept sorted ascending).
+        order = np.lexsort((parents, targets))
+        targets = targets[order]
+        parents = parents[order]
+        keep = np.ones(targets.size, dtype=bool)
+        keep[1:] = targets[1:] != targets[:-1]
+        targets = targets[keep]
+        parents = parents[keep]
+        # Terminal goal arrivals: destination semantics, first level wins.
+        arrived = goal_mask[targets] & ~goal_done[targets]
+        if arrived.any():
+            hit_t = targets[arrived]
+            goal_done[hit_t] = True
+            unsettled -= hit_t.size
+            for t, p in zip(hit_t.tolist(), parents[arrived].tolist()):
+                final[t] = (length, 0, p)
+        # Transit expansion over free routable non-avoided cells.
+        grow = transit_ok[targets] & ~seen[targets]
+        frontier = targets[grow]  # sorted ascending by construction
+        parent[frontier] = parents[grow]
+        seen[frontier] = True
+
+    return final, parent.tolist()
+
+
+def reachable_rings(grid, src_i: int) -> Iterator[Tuple[int, List[int]]]:
+    """BFS distance rings over routable cells (occupied ones traversable).
+
+    Yields ``(distance, sorted cell indices)`` per ring, mirroring the
+    deque BFS in :func:`repro.routing.dijkstra.reachable_free_cells`: the
+    traversable set (routable, occupancy ignored) and the ring membership
+    are identical, and the caller's final ``(distance, position)`` sort
+    makes in-ring discovery order irrelevant.
+    """
+    invocations["wave_reachable"] += 1
+    nbr = neighbor_table(grid)
+    routable = routable_view(grid) != 0
+    seen = np.zeros(nbr.shape[0], dtype=bool)
+    seen[src_i] = True
+    frontier = np.array([src_i], dtype=np.int64)
+    dist = 0
+    while frontier.size:
+        yield dist, frontier.tolist()
+        targets = nbr[frontier].ravel()
+        targets = targets[targets >= 0]
+        targets = np.unique(targets)
+        grow = routable[targets] & ~seen[targets]
+        frontier = targets[grow]
+        seen[frontier] = True
+        dist += 1
+
+
+# ---------------------------------------------------------------------------
+# Replay-validation interval checks
+# ---------------------------------------------------------------------------
+
+
+def timelines_clean(
+    qubits: Sequence[int],
+    starts: Sequence[float],
+    ends: Sequence[float],
+    eps: float,
+) -> bool:
+    """True when no qubit timeline overlaps (green fast path).
+
+    Same comparison as the pure scan — each (op, qubit) slot against the
+    *immediately preceding* op on that qubit in schedule order, via a
+    stable sort by qubit — with identical float arithmetic
+    (``start + eps < prev_end``).  The validator falls back to the pure
+    scan to build the report whenever this returns False.
+    """
+    invocations["intervals_timeline"] += 1
+    q = np.asarray(qubits, dtype=np.int64)
+    if q.size < 2:
+        return True
+    s = np.asarray(starts, dtype=np.float64)
+    e = np.asarray(ends, dtype=np.float64)
+    order = np.argsort(q, kind="stable")
+    q = q[order]
+    s = s[order]
+    e = e[order]
+    same = q[1:] == q[:-1]
+    return not bool((same & (s[1:] + eps < e[:-1])).any())
+
+
+def cell_conflicts_clean(
+    cells: Sequence[int],
+    starts: Sequence[float],
+    ends: Sequence[float],
+    uids: Sequence[int],
+    eps: float,
+) -> bool:
+    """True when no cell footprint overlaps (green fast path).
+
+    Mirrors the pure scan exactly: per cell, spans sorted by
+    ``(start, end, uid)`` and each start compared against the running max
+    end of earlier spans.  The segmented running max is computed per cell
+    group with ``np.maximum.accumulate`` on the raw float ends — no
+    arithmetic transformation — so every comparison is bit-identical.
+    """
+    invocations["intervals_cells"] += 1
+    c = np.asarray(cells, dtype=np.int64)
+    if c.size < 2:
+        return True
+    s = np.asarray(starts, dtype=np.float64)
+    e = np.asarray(ends, dtype=np.float64)
+    u = np.asarray(uids, dtype=np.int64)
+    order = np.lexsort((u, e, s, c))
+    c = c[order]
+    s = s[order]
+    e = e[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], c[1:] != c[:-1])))
+    edges = np.append(boundaries, c.size)
+    for a, b in zip(edges[:-1], edges[1:]):
+        if b - a < 2:
+            continue
+        running_end = np.maximum.accumulate(e[a : b - 1])
+        if bool((s[a + 1 : b] + eps < running_end).any()):
+            return False
+    return True
+
+
+def min_start_clean(
+    starts: Sequence[float],
+    min_starts: Sequence[float],
+    eps: float,
+) -> bool:
+    """True when every op honours its release floor (green fast path)."""
+    invocations["intervals_min_start"] += 1
+    s = np.asarray(starts, dtype=np.float64)
+    m = np.asarray(min_starts, dtype=np.float64)
+    return not bool((s + eps < m).any())
+
+
+# ---------------------------------------------------------------------------
+# Redundant-move scan
+# ---------------------------------------------------------------------------
+
+
+def redundant_move_pairs(ops, is_move_fn) -> List[Tuple[int, int]]:
+    """Array-accelerated inverse-move-pair scan.
+
+    Equivalent to the pure scan in
+    :mod:`repro.scheduling.redundant_moves`: non-move activity (the
+    ``last_use`` / ``last_touch`` bookkeeping that invalidates pending
+    pairs) is batched into sorted event arrays queried with one
+    ``np.searchsorted`` per condition over *all* moves at once, so the
+    sequential part of the scan runs over moves only.  Move-vs-move cell
+    touches — which depend on which earlier pairs cancelled — stay in that
+    sequential part, exactly as the pure scan interleaves them.
+    """
+    invocations["redundant_moves"] += 1
+    n_ops = len(ops)
+    cell_ids: Dict[Tuple[int, int], int] = {}
+
+    def cell_id(cell) -> int:
+        cid = cell_ids.get(cell)
+        if cid is None:
+            cid = len(cell_ids)
+            cell_ids[cell] = cid
+        return cid
+
+    move_idx: List[int] = []
+    move_qubit: List[int] = []
+    move_origin: List[int] = []
+    move_dest: List[int] = []
+    nm_use: List[int] = []  # composite key qubit * (n_ops + 1) + idx
+    nm_touch: List[int] = []  # composite key cell_id * (n_ops + 1) + idx
+    base = n_ops + 1
+    for idx, op in enumerate(ops):
+        if is_move_fn(op):
+            (qubit,) = op.qubits
+            move_idx.append(idx)
+            move_qubit.append(qubit)
+            move_origin.append(cell_id(op.cells[0]))
+            move_dest.append(cell_id(op.cells[1]))
+        else:
+            for qubit in op.qubits:
+                nm_use.append(qubit * base + idx)
+            for cell in op.cells:
+                nm_touch.append(cell_id(cell) * base + idx)
+
+    if not move_idx:
+        return []
+
+    use_keys = np.asarray(nm_use, dtype=np.int64)
+    use_keys.sort()
+    touch_keys = np.asarray(nm_touch, dtype=np.int64)
+    touch_keys.sort()
+
+    def last_before(keys: np.ndarray, owners: np.ndarray, at: np.ndarray) -> np.ndarray:
+        """Latest event index of ``owners`` strictly before op ``at``."""
+        slot = np.searchsorted(keys, owners * base + at) - 1
+        hit = keys[np.maximum(slot, 0)]
+        valid = (slot >= 0) & (hit // base == owners)
+        return np.where(valid, hit % base, -1)
+
+    m_idx = np.asarray(move_idx, dtype=np.int64)
+    m_qubit = np.asarray(move_qubit, dtype=np.int64)
+    m_origin = np.asarray(move_origin, dtype=np.int64)
+    m_dest = np.asarray(move_dest, dtype=np.int64)
+    nm_last_use = last_before(use_keys, m_qubit, m_idx).tolist()
+    nm_touch_origin = last_before(touch_keys, m_origin, m_idx).tolist()
+    nm_touch_dest = last_before(touch_keys, m_dest, m_idx).tolist()
+
+    pairs: List[Tuple[int, int]] = []
+    claimed: set = set()
+    pending: Dict[int, Tuple[int, int, int]] = {}
+    move_touch: Dict[int, int] = {}
+    move_idx_l = move_idx
+    move_qubit_l = move_qubit
+    move_origin_l = move_origin
+    move_dest_l = move_dest
+    for row in range(len(move_idx_l)):
+        idx = move_idx_l[row]
+        qubit = move_qubit_l[row]
+        origin = move_origin_l[row]
+        dest = move_dest_l[row]
+        prior = pending.get(qubit)
+        if prior is not None:
+            pidx = prior[0]
+            if (
+                prior[1] == dest
+                and prior[2] == origin
+                and nm_last_use[row] <= pidx
+                and max(nm_touch_origin[row], move_touch.get(origin, -1)) <= pidx
+                and max(nm_touch_dest[row], move_touch.get(dest, -1)) <= pidx
+                and pidx not in claimed
+            ):
+                pairs.append((pidx, idx))
+                claimed.add(pidx)
+                claimed.add(idx)
+                pending.pop(qubit, None)
+                continue
+        pending[qubit] = (idx, origin, dest)
+        move_touch[origin] = idx
+        move_touch[dest] = idx
+    return pairs

@@ -8,34 +8,42 @@ Two harnesses, two committed trajectory files:
 * :mod:`~repro.perf.service_bench` (``repro service-bench``) measures
   the compile service's cold/warm/coalesce behaviour and sustained
   throughput — ``BENCH_service.json``.
+
+plus :mod:`~repro.perf.profiler`, the per-phase attribution layer both
+harnesses and the compile pipeline share (``repro bench --profile``).
+
+Exports resolve lazily (PEP 562): the profiler's seams live inside the
+hot compile modules (routing, scheduling, verify), so importing
+``repro.perf.profiler`` from them must not drag the bench harness — and
+with it the whole compiler package — back in through this ``__init__``.
 """
 
-from .bench import (
-    BENCH_FILENAME,
-    BenchCase,
-    BenchReport,
-    bench_cases,
-    compare_reports,
-    has_drift,
-    run_bench,
-)
-from .service_bench import (
-    BENCH_SERVICE_FILENAME,
-    run_service_bench,
-    service_report_text,
-    write_service_report,
-)
-
-__all__ = [
+_BENCH_EXPORTS = {
     "BENCH_FILENAME",
-    "BENCH_SERVICE_FILENAME",
     "BenchCase",
     "BenchReport",
     "bench_cases",
     "compare_reports",
     "has_drift",
     "run_bench",
+}
+_SERVICE_EXPORTS = {
+    "BENCH_SERVICE_FILENAME",
     "run_service_bench",
     "service_report_text",
     "write_service_report",
-]
+}
+
+__all__ = sorted(_BENCH_EXPORTS | _SERVICE_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _BENCH_EXPORTS:
+        from . import bench
+
+        return getattr(bench, name)
+    if name in _SERVICE_EXPORTS:
+        from . import service_bench
+
+        return getattr(service_bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,17 +32,19 @@ from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .. import __version__
+from .. import __version__, kernels
 from ..compiler.config import CompilerConfig
 from ..compiler.pipeline import FaultTolerantCompiler
 from ..compiler.result import FINGERPRINT_FIELDS
 from ..sweep import CompileCache, CompileJob, SweepEngine
 from ..workloads import load_benchmark
+from . import profiler
 
 #: default output file, tracked over time as the perf trajectory.
 BENCH_FILENAME = "BENCH_routing.json"
@@ -150,29 +152,58 @@ def _row_from_result(result, wall: float) -> dict:
     }
 
 
-def _run_case(case: BenchCase, repeat: int, validate: bool = False) -> dict:
+def _run_case(
+    case: BenchCase,
+    repeat: int,
+    validate: bool = False,
+    profile: bool = False,
+    backend: Optional[str] = None,
+) -> dict:
     circuit = load_benchmark(case.workload)
     config = _case_config(case)
     compiler = FaultTolerantCompiler(config)
-    best = None
+    walls: List[float] = []
     result = None
-    for _ in range(max(1, repeat)):
-        start = time.perf_counter()
-        result = compiler.compile(circuit)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    if validate:
-        # outside the timed region: walls measure compilation, not auditing
-        from ..verify import raise_if_invalid, validate_result
+    with kernels.use_backend(backend):
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            result = compiler.compile(circuit)
+            walls.append(time.perf_counter() - start)
+        # best-of-N is the headline number (least scheduler/cache noise);
+        # the median rides along so cross-machine comparisons can see
+        # dispersion.
+        row = _row_from_result(result, min(walls))
+        row["wall_median"] = round(statistics.median(walls), 4)
+        if profile:
+            # one extra instrumented compile AFTER the timed repetitions, so
+            # attribution never contaminates the walls it explains
+            with profiler.capture() as prof:
+                compiler.compile(circuit)
+            row["phases"] = prof.as_dict()
+        if validate:
+            # outside the timed region: walls measure compilation, not
+            # auditing
+            from ..verify import raise_if_invalid, validate_result
 
-        raise_if_invalid(validate_result(result, circuit, config, label=case.key))
-    return _row_from_result(result, best)
+            raise_if_invalid(
+                validate_result(result, circuit, config, label=case.key)
+            )
+    return row
 
 
-def _run_case_payload(payload: Tuple[BenchCase, int, bool]) -> dict:
+def _run_case_payload(payload: Tuple[BenchCase, int, bool, bool, Optional[str]]) -> dict:
     """Worker entry point for ``--jobs``: one timed case per process."""
-    case, repeat, validate = payload
-    return _run_case(case, repeat, validate)
+    case, repeat, validate, profile, backend = payload
+    return _run_case(case, repeat, validate, profile, backend)
+
+
+def _merge_phase_dicts(total: Dict[str, dict], phases: Dict[str, dict]) -> None:
+    """Accumulate one case's phase breakdown into the suite-wide totals."""
+    for name, stats in phases.items():
+        agg = total.setdefault(name, {"wall": 0.0, "self": 0.0, "calls": 0})
+        agg["wall"] = round(agg["wall"] + stats["wall"], 6)
+        agg["self"] = round(agg["self"] + stats["self"], 6)
+        agg["calls"] += stats["calls"]
 
 
 def run_bench(
@@ -183,6 +214,8 @@ def run_bench(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     validate: bool = False,
+    profile: bool = False,
+    backend: Optional[str] = None,
 ) -> BenchReport:
     """Compile the suite, timing each case (best-of-``repeat``).
 
@@ -201,6 +234,13 @@ def run_bench(
         validate: replay-validate every case's schedule (outside the timed
             region); raises :class:`~repro.verify.ValidationError` on the
             first violation.
+        profile: run one extra instrumented compile per case (after the
+            timed repetitions) and attach the per-phase wall/call breakdown
+            as ``meta.phases``; unsupported with ``cache_dir`` (cache
+            resolution has no compile phases to attribute).
+        backend: compute-kernel backend for every compile ("auto", "pure"
+            or "numpy"); behavioural outputs are identical across backends,
+            only walls change.  Recorded as ``meta.backend`` (resolved).
     """
     jobs = max(1, jobs)
     report = BenchReport(
@@ -208,17 +248,22 @@ def run_bench(
             "version": __version__,
             "python": platform.python_version(),
             "mode": "fast" if fast else "full",
-            "repeat": max(1, repeat),
+            "repeats": max(1, repeat),
             "jobs": jobs,
+            # resolve up front: a 'numpy' pin without numpy fails here,
+            # loudly, rather than silently falling back mid-suite
+            "backend": kernels.resolve(backend),
         }
     )
     if validate:
         report.meta["validated"] = True
+    if profile and cache_dir is not None:
+        raise ValueError("--profile attributes compile phases; it does not apply to cache resolution runs")
     cases = bench_cases(fast, workloads)
     sweep_start = time.perf_counter()
     if cache_dir is not None:
         # cache resolution is single-shot, so label the walls honestly
-        report.meta["repeat"] = 1
+        report.meta["repeats"] = 1
         engine = SweepEngine(jobs=jobs, cache=CompileCache(cache_dir))
         circuits = {c.workload: load_benchmark(c.workload) for c in cases}
         if jobs > 1:
@@ -231,7 +276,8 @@ def run_bench(
 
         def timed_resolution(case: BenchCase) -> dict:
             start = time.perf_counter()
-            result = engine.compile(circuits[case.workload], _case_config(case))
+            with kernels.use_backend(backend):
+                result = engine.compile(circuits[case.workload], _case_config(case))
             wall = time.perf_counter() - start
             if validate:
                 # after the timer stops: walls measure resolution, not auditing
@@ -248,12 +294,21 @@ def run_bench(
         rows = map(timed_resolution, cases)
     elif jobs > 1:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(cases) or 1))
-        rows = pool.map(_run_case_payload, [(c, repeat, validate) for c in cases])
+        rows = pool.map(
+            _run_case_payload,
+            [(c, repeat, validate, profile, backend) for c in cases],
+        )
     else:
         pool = None
-        rows = (_run_case(case, repeat, validate) for case in cases)
+        rows = (
+            _run_case(case, repeat, validate, profile, backend) for case in cases
+        )
+    suite_phases: Dict[str, dict] = {}
     try:
         for case, row in zip(cases, rows):
+            case_phases = row.pop("phases", None)
+            if case_phases:
+                _merge_phase_dicts(suite_phases, case_phases)
             report.cases[case.key] = row
             report.total_wall += row["wall"]
             if progress is not None:
@@ -264,6 +319,14 @@ def run_bench(
         elif jobs > 1:
             pool.shutdown()
     report.meta["sweep_wall"] = round(time.perf_counter() - sweep_start, 4)
+    if profile:
+        # suite-wide aggregate, sorted widest-first like PhaseProfiler.as_dict
+        report.meta["phases"] = {
+            name: stats
+            for name, stats in sorted(
+                suite_phases.items(), key=lambda kv: -kv[1]["wall"]
+            )
+        }
     return report
 
 
@@ -271,6 +334,59 @@ def run_bench(
 #: from the canonical definition next to CompilationResult.fingerprint so
 #: the drift gate, the report rows and the service responses cannot diverge.
 _FINGERPRINT_FIELDS = FINGERPRINT_FIELDS
+
+
+def report_from_dict(data: dict) -> BenchReport:
+    """Rehydrate a ``BENCH_*.json`` payload for comparison helpers."""
+    return BenchReport(
+        cases=dict(data.get("cases", {})),
+        total_wall=float(data.get("total_wall") or 0.0),
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def phases_table(phases: Dict[str, dict]) -> str:
+    """Render a ``meta.phases`` breakdown the way ``--profile`` prints it."""
+    if not phases:
+        return "(no phases recorded)"
+    width = max(len(name) for name in phases)
+    lines = [f"{'phase'.ljust(width)}  {'wall_s':>9}  {'self_s':>9}  {'calls':>9}"]
+    for name, stats in phases.items():
+        lines.append(
+            f"{name.ljust(width)}  {stats['wall']:>9.4f}  "
+            f"{stats['self']:>9.4f}  {stats['calls']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def compare_phases(baseline_meta: dict, current_meta: dict) -> List[str]:
+    """Per-phase speedup lines for two reports that both carry ``meta.phases``.
+
+    Empty when either side was recorded without ``--profile`` — phase
+    attribution is optional, the per-case comparison always runs.
+    """
+    base = baseline_meta.get("phases") or {}
+    cur = current_meta.get("phases") or {}
+    if not base or not cur:
+        return []
+    width = max(len(name) for name in {*base, *cur})
+    lines = [
+        f"{'phase'.ljust(width)}  {'base_s':>9}  {'new_s':>9}  {'speedup':>8}"
+    ]
+    for name in sorted({*base, *cur}, key=lambda n: -(base.get(n, {}).get("wall", 0.0))):
+        b = base.get(name, {}).get("wall")
+        c = cur.get(name, {}).get("wall")
+        if b is None or c is None:
+            lines.append(
+                f"{name.ljust(width)}  "
+                f"{(f'{b:9.4f}' if b is not None else '        -')}  "
+                f"{(f'{c:9.4f}' if c is not None else '        -')}  "
+                f"{'-':>8}"
+            )
+            continue
+        ratio = f"{b / c:7.2f}x" if c else f"{'inf':>7} "
+        lines.append(f"{name.ljust(width)}  {b:>9.4f}  {c:>9.4f}  {ratio}")
+    return lines
 
 
 def has_drift(baseline: dict, current: BenchReport) -> bool:

@@ -27,7 +27,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from .. import kernels
 from ..arch.grid import CellRole, Grid, Position
+from ..perf.profiler import profiled
 from .path import Path
 
 #: path-cache entries per grid before the cache is dropped and restarted.
@@ -80,6 +82,7 @@ def _cache_for(grid: Grid) -> Dict:
     return cache
 
 
+@profiled("route.path")
 def find_path(grid: Grid, request: RoutingRequest) -> Path:
     """Minimum-cost path under C = d * p, or raise :class:`NoPathError`.
 
@@ -205,6 +208,7 @@ def _rebuild_goal_path(
     return Path(tuple(cells), cost=float(fcost), occupied_crossings=fcrossings)
 
 
+@profiled("route.to_any")
 def find_path_to_any(
     grid: Grid,
     source: Position,
@@ -308,6 +312,7 @@ def find_path_to_any(
     )
 
 
+@profiled("route.to_all")
 def find_paths_to_all(
     grid: Grid,
     source: Position,
@@ -358,12 +363,60 @@ def find_paths_to_all(
     best_cost[src_i] = 0
     parent = [-1] * n
     final: Dict[int, Tuple[int, int, int]] = {}
-    heap: List[Tuple[int, int, int, int, int]] = [(0, 0, 0, src_i, 0)]
-    push = heapq.heappush
-    pop = heapq.heappop
     # Once a goal's terminal entry pops its arrival is final (costs only
     # grow); when every goal has popped, nothing can improve and we stop.
     unsettled = set(goal_i)
+
+    if not allow_occupied:
+        if kernels.choose(n, kernels.WAVE_MIN_CELLS) == "numpy":
+            from ..kernels import numpy_impl
+
+            final, wave_parent = numpy_impl.wave_paths_to_all(
+                grid, src_i, frozenset(goal_i), avoid_i
+            )
+            for goal, (fcost, fcrossings, ffrom) in final.items():
+                result[positions[goal]] = _rebuild_goal_path(
+                    positions, wave_parent, src_i, goal, ffrom, fcost, fcrossings
+                )
+            return result
+        # Occupied cells are forbidden, so crossings never accrue and the
+        # cost is exactly the length: the Dijkstra degenerates to a BFS.
+        # Expanding each distance level in ascending flat-index order
+        # reproduces the heap's pop order (equal-cost entries sort by
+        # (length, crossings, pos)), so parents — first strict improver
+        # wins — and per-goal arrivals are bit-identical to the heap sweep.
+        # A goal's first terminal push is its final arrival (later pushes
+        # are at equal or greater length), so goals settle at push time.
+        level = [src_i]
+        length = 0
+        while level and unsettled:
+            level.sort()
+            next_level: List[int] = []
+            new_length = length + 1
+            for pos in level:
+                for nxt in nbr_idx[pos]:
+                    if nxt in goal_i and nxt not in final:
+                        final[nxt] = (new_length, 0, pos)
+                        unsettled.discard(nxt)
+                    if (avoid_i and nxt in avoid_i) or not routable[nxt]:
+                        continue
+                    if occ[nxt] is not None:
+                        continue
+                    if new_length < best_cost[nxt]:
+                        best_cost[nxt] = new_length
+                        parent[nxt] = pos
+                        next_level.append(nxt)
+            level = next_level
+            length = new_length
+        for goal, (fcost, fcrossings, ffrom) in final.items():
+            result[positions[goal]] = _rebuild_goal_path(
+                positions, parent, src_i, goal, ffrom, fcost, fcrossings
+            )
+        return result
+
+    heap: List[Tuple[int, int, int, int, int]] = [(0, 0, 0, src_i, 0)]
+    push = heapq.heappush
+    pop = heapq.heappop
 
     while heap and unsettled:
         cost, length, crossings, pos, terminal = pop(heap)
@@ -401,6 +454,7 @@ def find_paths_to_all(
     return result
 
 
+@profiled("route.reachable")
 def reachable_free_cells(
     grid: Grid,
     source: Position,
@@ -428,7 +482,28 @@ def reachable_free_cells(
     nbr_idx = grid._nbr_idx
     positions = grid._positions
 
-    seen = bytearray(grid.rows * cols)
+    n = grid.rows * cols
+    if kernels.choose(n, kernels.WAVE_MIN_CELLS) == "numpy":
+        from ..kernels import numpy_impl
+
+        found_np: List[Tuple[int, Position]] = []
+        bound_np = max_distance
+        for dist, ring in numpy_impl.reachable_rings(grid, src_i):
+            if bound_np is not None and dist > bound_np:
+                break
+            if dist:
+                for pos in ring:
+                    if occ[pos] is None and routable[pos]:
+                        p = positions[pos]
+                        if predicate is None or predicate(p):
+                            found_np.append((dist, p))
+                if limit is not None and len(found_np) >= limit:
+                    # Same ring-completion rule as the pure BFS below.
+                    bound_np = dist if bound_np is None else min(bound_np, dist)
+        found_np.sort()
+        return found_np
+
+    seen = bytearray(n)
     seen[src_i] = 1
     queue = deque([(0, src_i)])
     found: List[Tuple[int, Position]] = []

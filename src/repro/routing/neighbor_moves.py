@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..arch.grid import Grid, Position
+from ..perf.profiler import profiled
 from .dijkstra import NoPathError, RoutingRequest, find_path
 from .space_search import (  # shared move machinery
     _displace_blocker,
@@ -100,9 +101,32 @@ def _plan_single_mover(
     moving_is_target: bool,
     drift_goal: Optional[Position],
 ) -> Optional[AlignmentPlan]:
-    """Best plan that moves only one operand (the common case)."""
-    best: Optional[Tuple[float, AlignmentPlan]] = None
-    for dest, ancilla in _candidate_slots(grid, anchor_pos, moving_is_target):
+    """Best plan that moves only one operand (the common case).
+
+    Candidates are tried cheapest-lower-bound first: a walk to ``dest``
+    takes at least ``manhattan(mover, dest)`` moves, so once the best
+    realised score beats every remaining bound the loop stops without
+    pathfinding the rest.  Ties keep the candidate that comes first in
+    :func:`_candidate_slots` order, exactly as the plain scan did.
+    """
+    best: Optional[Tuple[float, int, AlignmentPlan]] = None
+    slots = _candidate_slots(grid, anchor_pos, moving_is_target)
+    ranked = sorted(
+        (
+            Grid.manhattan(mover_pos, dest)
+            + (0.25 * Grid.manhattan(dest, drift_goal) if drift_goal is not None else 0.0),
+            index,
+            dest,
+            ancilla,
+        )
+        for index, (dest, ancilla) in enumerate(slots)
+    )
+    for bound, index, dest, ancilla in ranked:
+        if best is not None:
+            if bound > best[0]:
+                break  # bounds only grow from here; nothing can win
+            if bound == best[0] and index > best[1]:
+                continue  # could at most tie, and the tie keeps the earlier slot
         protected = frozenset({ancilla, anchor_pos})
         try:
             path = find_path(
@@ -132,9 +156,9 @@ def _plan_single_mover(
         else:
             control_pos, target_pos = dest, anchor_pos
         plan = AlignmentPlan(tuple(moves), control_pos, target_pos, ancilla)
-        if best is None or score < best[0]:
-            best = (score, plan)
-    return best[1] if best else None
+        if best is None or score < best[0] or (score == best[0] and index < best[1]):
+            best = (score, index, plan)
+    return best[2] if best else None
 
 
 def _plan_with_eviction(
@@ -153,8 +177,11 @@ def _plan_with_eviction(
     anchor_pos = grid.position_of(anchor)
     mover_home = grid.position_of(mover)
     best: Optional[AlignmentPlan] = None
+    best_index = -1
     best_score = float("inf")
-    for dest in sorted(grid.diagonal_neighbors(anchor_pos)):
+    bias_anchor = drift_goal if drift_goal is not None else mover_home
+    candidates = []
+    for index, dest in enumerate(sorted(grid.diagonal_neighbors(anchor_pos))):
         if not grid.parkable(dest):
             continue
         if moving_is_target:
@@ -163,6 +190,29 @@ def _plan_with_eviction(
             ancilla = cnot_ancilla_cell(dest, anchor_pos)
         if ancilla not in grid or not grid.routable(ancilla):
             continue
+        # Lower bound on the realised score: the mover's own hops to dest
+        # (one move per unit of distance) plus one eviction move for every
+        # foreign occupant of the slot pair, plus the distance bias.  The
+        # eviction cascade itself — the expensive part — only runs when the
+        # bound could still beat the best plan found so far.
+        evictees = sum(
+            1
+            for cell in (dest, ancilla)
+            if grid.occupant(cell) not in (None, mover)
+        )
+        bound = (
+            Grid.manhattan(mover_home, dest)
+            + evictees
+            + 0.25 * Grid.manhattan(dest, bias_anchor)
+        )
+        candidates.append((bound, index, dest, ancilla))
+    candidates.sort()
+    for bound, index, dest, ancilla in candidates:
+        if best is not None:
+            if bound > best_score:
+                break
+            if bound == best_score and index > best_index:
+                continue
         with grid.scratch() as scratch:
             moves: List[Move] = []
             feasible = True
@@ -217,14 +267,15 @@ def _plan_with_eviction(
         plan = AlignmentPlan(tuple(moves), control_pos, target_pos, ancilla)
         # Bias toward the mover's origin / look-ahead goal so repeated
         # alignments do not march the whole block in one direction.
-        bias_anchor = drift_goal if drift_goal is not None else mover_home
         score = plan.num_moves + 0.25 * Grid.manhattan(dest, bias_anchor)
-        if score < best_score:
+        if score < best_score or (score == best_score and index < best_index):
             best = plan
             best_score = score
+            best_index = index
     return best
 
 
+@profiled("schedule.plan_cnot")
 def plan_cnot_alignment(
     grid: Grid,
     control: int,
@@ -256,6 +307,11 @@ def plan_cnot_alignment(
     plans: List[AlignmentPlan] = []
     moved_target = _plan_single_mover(grid, target, t_pos, c_pos, True, t_goal)
     if moved_target:
+        if moved_target.num_moves == 1:
+            # Unbeatable: every plan needs at least one move and the final
+            # min() breaks ties in favour of the target plan anyway, so the
+            # control-side search cannot change the answer.
+            return moved_target
         plans.append(moved_target)
     moved_control = _plan_single_mover(grid, control, c_pos, t_pos, False, c_goal)
     if moved_control:

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from ..arch.grid import Grid, Position
+from ..arch.grid import CellRole, Grid, Position
+from ..perf.profiler import profiled
 from .dijkstra import NoPathError, RoutingRequest, find_path, reachable_free_cells
 from .path import Path
 
@@ -58,6 +59,7 @@ class SpaceSearchError(RuntimeError):
 # ---------------------------------------------------------------------------
 
 
+@profiled("route.displace")
 def _displace_blocker(
     grid: Grid,
     cell: Position,
@@ -85,7 +87,7 @@ def _displace_blocker(
     spot = next(
         (
             p
-            for p in sorted(grid.free_neighbors(cell))
+            for p in grid.free_neighbors_sorted(cell)
             if p not in banned and p not in keep_off
         ),
         None,
@@ -112,8 +114,6 @@ def _chain_push_dir(
     keep_off: Set[Position],
 ) -> Optional[List[Move]]:
     """Plan (without applying) a one-step segment shift along ``direction``."""
-    from ..arch.grid import CellRole
-
     rows, cols = grid.rows, grid.cols
     occ = grid._occ
     routable = grid._routable_b
@@ -155,8 +155,6 @@ def _evacuate(
     victim = grid.occupant(victim_pos)
     if victim is None:
         return []
-    from ..arch.grid import CellRole
-
     candidates = reachable_free_cells(grid, victim_pos, limit=8)
     for __, refuge in candidates[:8]:
         if refuge in banned or refuge in keep_off:
@@ -258,6 +256,7 @@ def _evacuation_moves(grid: Grid, victim_pos: Position) -> Optional[List[Move]]:
         return _evacuate(scratch, victim_pos, frozenset(), set(), 0)
 
 
+@profiled("route.clear")
 def clear_route(
     grid: Grid,
     path: Path,
@@ -285,6 +284,7 @@ def clear_route(
     return moves
 
 
+@profiled("route.space")
 def find_space(grid: Grid, target: Position) -> EvacuationPlan:
     """Clear the cheapest neighbouring cell of ``target`` (Fig. 6).
 

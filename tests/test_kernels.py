@@ -1,0 +1,257 @@
+"""Backend registry semantics and pure<->numpy kernel parity.
+
+The numpy kernels are a pure speed play: every result — paths, tie-breaks,
+redundant-move pairs, validator verdicts, behavioural fingerprints — must
+be bit-identical to the pure-Python reference.  These tests pin each
+backend in turn and compare outputs directly, and prove (via the
+``kernels.invocations`` counters) that a numpy-pinned compile really
+routes through the vectorized code paths instead of silently falling back.
+"""
+
+import random
+
+import pytest
+
+from repro import kernels
+from repro.arch.grid import Grid
+from repro.compiler import CompilerConfig, FaultTolerantCompiler
+from repro.routing.dijkstra import find_paths_to_all, reachable_free_cells
+from repro.workloads import ising_2d
+
+HAVE_NUMPY = kernels.HAVE_NUMPY
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@pytest.fixture(autouse=True)
+def _unpinned(monkeypatch):
+    """Each test starts unpinned and with a clean environment override."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+def random_grid(rng, rows=9, cols=9, fill=0.3):
+    grid = Grid(rows, cols)
+    qubit = 100
+    for r in range(rows):
+        for c in range(cols):
+            if rng.random() < fill:
+                grid.place(qubit, (r, c))
+                qubit += 1
+    return grid
+
+
+class TestRegistry:
+    def test_pure_always_available(self):
+        assert "pure" in kernels.available()
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernels.resolve("fortran")
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("fortran")
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pure")
+        if HAVE_NUMPY:
+            assert kernels.resolve("numpy") == "numpy"
+        assert kernels.choose(10**9, 1, spec="pure") == "pure"
+
+    def test_env_var_pins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pure")
+        assert kernels.resolve() == "pure"
+        assert kernels.choose(10**9, 1) == "pure"
+
+    def test_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pure")
+        with kernels.use_backend("pure") as resolved:
+            assert resolved == "pure"
+
+    def test_auto_threshold_gating(self):
+        if HAVE_NUMPY:
+            assert kernels.choose(kernels.WAVE_MIN_CELLS,
+                                  kernels.WAVE_MIN_CELLS) == "numpy"
+        assert kernels.choose(kernels.WAVE_MIN_CELLS - 1,
+                              kernels.WAVE_MIN_CELLS) == "pure"
+
+    def test_auto_spec_preserves_surrounding_pin(self):
+        with kernels.use_backend("pure"):
+            # "auto" expresses no preference; the outer pin stays in force.
+            with kernels.use_backend("auto"):
+                assert kernels.choose(10**9, 1) == "pure"
+            assert kernels.choose(10**9, 1) == "pure"
+
+    def test_use_backend_restores_previous_pin(self):
+        kernels.set_backend("pure")
+        with kernels.use_backend("pure"):
+            pass
+        assert kernels.resolve() == "pure"
+        kernels.set_backend(None)
+
+    @needs_numpy
+    def test_numpy_pin_without_numpy_is_an_error(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        with pytest.raises(ValueError, match="numpy"):
+            kernels.resolve("numpy")
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(backend="fortran")
+
+    def test_backend_never_in_sweep_cache_key(self):
+        from repro.sweep.jobs import config_fingerprint
+
+        assert config_fingerprint(CompilerConfig(backend="pure")) == \
+            config_fingerprint(CompilerConfig(backend="auto"))
+
+
+@needs_numpy
+class TestKernelParity:
+    """Direct pure-vs-numpy comparisons on randomized inputs."""
+
+    def test_wave_paths_to_all_matches_pure(self):
+        rng = random.Random(7)
+        for trial in range(25):
+            grid = random_grid(rng, fill=rng.choice([0.15, 0.35, 0.55]))
+            cells = [(r, c) for r in range(grid.rows) for c in range(grid.cols)]
+            source = rng.choice([p for p in cells if not grid.is_occupied(p)])
+            goals = set(rng.sample(cells, rng.randint(1, 8)))
+            avoid = set(rng.sample(cells, rng.randint(0, 4))) - {source}
+            with kernels.use_backend("pure"):
+                want = find_paths_to_all(grid, source, goals, avoid=avoid)
+            with kernels.use_backend("numpy"):
+                got = find_paths_to_all(grid, source, goals, avoid=avoid)
+            assert {g: (p.cells, p.cost) for g, p in want.items()} == \
+                {g: (p.cells, p.cost) for g, p in got.items()}, f"trial {trial}"
+
+    def test_reachable_free_cells_matches_pure(self):
+        rng = random.Random(11)
+        for trial in range(25):
+            grid = random_grid(rng, fill=0.3)
+            source = (rng.randrange(grid.rows), rng.randrange(grid.cols))
+            kwargs = {
+                "max_distance": rng.choice([None, 2, 4]),
+                "limit": rng.choice([None, 1, 3]),
+            }
+            with kernels.use_backend("pure"):
+                want = reachable_free_cells(grid, source, **kwargs)
+            with kernels.use_backend("numpy"):
+                got = reachable_free_cells(grid, source, **kwargs)
+            assert want == got, f"trial {trial} ({kwargs})"
+
+    def test_redundant_pairs_match_pure(self):
+        from repro.scheduling.redundant_moves import find_redundant_pairs
+
+        compiled = FaultTolerantCompiler(
+            CompilerConfig(routing_paths=3, eliminate_redundant_moves=False)
+        ).compile(ising_2d(4))
+        schedule = compiled.schedule
+        with kernels.use_backend("pure"):
+            want = find_redundant_pairs(schedule)
+        kernels.invocations.clear()
+        with kernels.use_backend("numpy"):
+            got = find_redundant_pairs(schedule)
+        assert kernels.invocations["redundant_moves"] == 1
+        assert want == got
+
+    @staticmethod
+    def _interval_checks(schedule):
+        from repro.verify.validator import ScheduleValidator
+
+        validator = ScheduleValidator(schedule)
+        validator.check_timelines()
+        validator.check_cell_conflicts()
+        validator.check_min_start()
+        return validator.report
+
+    def test_validator_verdicts_match_pure(self):
+        result = FaultTolerantCompiler(
+            CompilerConfig(routing_paths=3)
+        ).compile(ising_2d(3))
+        with kernels.use_backend("pure"):
+            want = self._interval_checks(result.schedule)
+        kernels.invocations.clear()
+        with kernels.use_backend("numpy"):
+            got = self._interval_checks(result.schedule)
+        assert kernels.invocations["intervals_timeline"] >= 1
+        assert want.ok and got.ok
+        assert want.checks == got.checks
+
+    def test_validator_violations_fall_back_to_pure_reports(self):
+        """On any violation the numpy fast path defers to the pure scan, so
+        reports (messages, ordering) are identical to a pure-only run."""
+        from dataclasses import replace
+
+        result = FaultTolerantCompiler(
+            CompilerConfig(routing_paths=3)
+        ).compile(ising_2d(3))
+        ops = list(result.schedule.ops)
+        # Pull one mid-schedule op back to t=0 to force timeline overlap.
+        victim = next(i for i, op in enumerate(ops)
+                      if op.qubits and op.start > 0)
+        ops[victim] = replace(ops[victim], start=0.0, min_start=0.0)
+        broken = type(result.schedule)(ops=ops)
+        with kernels.use_backend("pure"):
+            want = self._interval_checks(broken)
+        with kernels.use_backend("numpy"):
+            got = self._interval_checks(broken)
+        assert not want.ok
+        assert [v.message for v in want.violations] == \
+            [v.message for v in got.violations]
+
+
+class TestCompileParity:
+    @needs_numpy
+    def test_numpy_pinned_compile_is_bit_identical(self):
+        circuit = ising_2d(4)
+        pure = FaultTolerantCompiler(
+            CompilerConfig(backend="pure")
+        ).compile(circuit)
+        numpy_r = FaultTolerantCompiler(
+            CompilerConfig(backend="numpy")
+        ).compile(circuit)
+        assert pure.fingerprint() == numpy_r.fingerprint()
+        assert pure.schedule.to_dict() == numpy_r.schedule.to_dict()
+
+    @needs_numpy
+    def test_numpy_backend_is_actually_exercised(self):
+        """Tier-1 guard: a numpy-pinned compile must route through the
+        vectorized kernels — never silently fall back to pure."""
+        kernels.invocations.clear()
+        FaultTolerantCompiler(
+            CompilerConfig(backend="numpy")
+        ).compile(ising_2d(4), validate=True)
+        assert kernels.invocations["wave_to_all"] > 0
+        assert kernels.invocations["intervals_timeline"] > 0
+        assert kernels.invocations["intervals_cells"] > 0
+        assert kernels.invocations["redundant_moves"] > 0
+
+    def test_pure_pinned_compile_never_touches_numpy(self):
+        kernels.invocations.clear()
+        FaultTolerantCompiler(
+            CompilerConfig(backend="pure")
+        ).compile(ising_2d(3), validate=True)
+        assert not kernels.invocations
+
+
+class TestBenchBackend:
+    def test_bench_meta_records_backend(self):
+        from repro.perf.bench import run_bench
+
+        report = run_bench(fast=True, workloads=["ising_2d_2x2"],
+                           backend="pure")
+        assert report.meta["backend"] == "pure"
+
+    @needs_numpy
+    def test_bench_fingerprints_identical_across_backends(self):
+        from repro.perf.bench import FINGERPRINT_FIELDS, run_bench
+
+        a = run_bench(fast=True, backend="pure").as_dict()
+        b = run_bench(fast=True, backend="numpy").as_dict()
+        for name in a["cases"]:
+            for field in FINGERPRINT_FIELDS:
+                assert a["cases"][name][field] == b["cases"][name][field], \
+                    (name, field)
