@@ -41,7 +41,9 @@ from .perf.service_bench import (
     service_report_text,
     write_service_report,
 )
+from .perf.cache_bench import BENCH_CACHE_FILENAME
 from .service import DEFAULT_MAX_PENDING, run_server
+from .service import DEFAULT_CACHE_PORT as CACHE_DEFAULT_PORT
 from .service import DEFAULT_PORT as SERVICE_DEFAULT_PORT
 from .sweep import CompileCache, SweepEngine, use_engine
 from .verify import ValidationError
@@ -86,6 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default $REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
     exp_cmd.add_argument("--no-cache", action="store_true",
                          help="skip the persistent cache entirely")
+    exp_cmd.add_argument("--remote-cache", metavar="HOST[:PORT]", default=None,
+                         help="warm misses from a `repro cache-serve` peer "
+                              "(hits are replay-validated; a peer outage "
+                              "degrades to a miss)")
     exp_cmd.add_argument("--validate", action="store_true",
                          help="replay-validate every compiled (or cached) "
                               "schedule; exit 1 on any violation")
@@ -106,6 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "(wall then measures resolution, not compilation)")
     bench_perf.add_argument("--no-cache", action="store_true",
                             help="ignore --cache-dir (pure compile timing)")
+    bench_perf.add_argument("--remote-cache", metavar="HOST[:PORT]", default=None,
+                            help="resolve misses through a `repro cache-serve` "
+                                 "peer as the tier below the disk cache")
     bench_perf.add_argument("--output", "-o", default=None,
                             help=f"output JSON path (default {BENCH_FILENAME}; '-' to skip)")
     bench_perf.add_argument("--baseline", default=None,
@@ -142,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(default $REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
     serve_cmd.add_argument("--no-cache", action="store_true",
                            help="serve without a persistent cache (memo only)")
+    serve_cmd.add_argument("--remote-cache", metavar="HOST[:PORT]", default=None,
+                           help="share results with a `repro cache-serve` peer "
+                                "(the tier below the disk cache; hits are "
+                                "replay-validated on ingest)")
     serve_cmd.add_argument("--validate", action="store_true",
                            help="replay-validate every response before sending "
                                 "(failures become structured client errors)")
@@ -209,6 +222,44 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="fingerprint baseline for the post-chaos "
                                 "check (default BENCH_routing.json; '-' to "
                                 "skip)")
+
+    cserve_cmd = sub.add_parser(
+        "cache-serve",
+        help="run a shared result-cache peer a fleet of engines warms from",
+    )
+    cserve_cmd.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default 127.0.0.1)")
+    cserve_cmd.add_argument("--port", type=int, default=CACHE_DEFAULT_PORT,
+                            help=f"TCP port (default {CACHE_DEFAULT_PORT}; "
+                                 "0 = ephemeral)")
+    cserve_cmd.add_argument("--cache-dir", default=None,
+                            help="backing store root (default $REPRO_CACHE_DIR "
+                                 "or ~/.cache/repro/sweep)")
+    cserve_cmd.add_argument("--size-budget", type=int, default=None,
+                            help="soft byte bound on the store; exceeding it "
+                                 "evicts least-recently-used entries")
+    cserve_cmd.add_argument("--quarantine-cap", type=int, default=None,
+                            help="bound on quarantined entries kept for "
+                                 "post-mortems (default 64)")
+
+    cbench_cmd = sub.add_parser(
+        "cache-bench",
+        help="measure a cold engine fleet warming from one seeded cache peer",
+    )
+    cbench_cmd.add_argument("--fast", action="store_true",
+                            help="smoke matrix (sub-second) instead of the "
+                                 "full suite")
+    cbench_cmd.add_argument("--engines", type=int, default=3,
+                            help="cold engines warmed from the seeded peer "
+                                 "(each must perform zero compilations)")
+    cbench_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes in the seeding engine")
+    cbench_cmd.add_argument("--output", "-o", default=None,
+                            help="output JSON path "
+                                 f"(default {BENCH_CACHE_FILENAME}; '-' to skip)")
+    cbench_cmd.add_argument("--baseline", default=None,
+                            help="compare fingerprints against a previous "
+                                 "BENCH_*.json (exit 1 on drift)")
 
     sbench_cmd = sub.add_parser(
         "service-bench",
@@ -278,9 +329,25 @@ def _print_tables(result) -> None:
         print(table.to_text())
 
 
+def _make_remote(spec: Optional[str]):
+    """A :class:`RemoteCache` for a ``--remote-cache`` spec (None passthrough)."""
+    if spec is None:
+        return None
+    from .service import RemoteCache, parse_peer
+
+    return RemoteCache(*parse_peer(spec))
+
+
 def _cmd_experiment(args) -> int:
     cache = None if args.no_cache else CompileCache(args.cache_dir)
-    engine = SweepEngine(jobs=args.jobs, cache=cache, validate=args.validate)
+    try:
+        remote = _make_remote(args.remote_cache)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    engine = SweepEngine(
+        jobs=args.jobs, cache=cache, remote=remote, validate=args.validate
+    )
     names = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
     try:
         with use_engine(engine):
@@ -295,6 +362,8 @@ def _cmd_experiment(args) -> int:
         print(exc.report.summary())
         print("error: schedule failed replay validation")
         return 1
+    finally:
+        engine.shutdown()
     print(f"[sweep] {engine.counters.describe()}")
     if args.validate:
         print(f"[verify] {len(engine.validated_keys)} schedule(s) replay-validated, 0 violations")
@@ -346,6 +415,11 @@ def _cmd_bench(args) -> int:
             print(f"error: cannot read baseline {args.baseline}: {exc}")
             return 2
     try:
+        remote = _make_remote(args.remote_cache)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    try:
         report = run_bench(
             fast=args.fast,
             repeat=args.repeat,
@@ -353,6 +427,7 @@ def _cmd_bench(args) -> int:
             progress=print,
             jobs=args.jobs,
             cache_dir=None if args.no_cache else args.cache_dir,
+            remote=remote,
             validate=args.validate,
             profile=args.profile,
             backend=args.backend,
@@ -389,11 +464,17 @@ def _cmd_bench(args) -> int:
 
 def _cmd_serve(args) -> int:
     cache = None if args.no_cache else CompileCache(args.cache_dir)
+    try:
+        remote = _make_remote(args.remote_cache)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     return run_server(
         host=args.host,
         port=args.port,
         jobs=args.jobs,
         cache=cache,
+        remote=remote,
         validate=args.validate,
         max_pending=args.max_pending,
         queue_wait=args.queue_wait,
@@ -446,6 +527,65 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cache_serve(args) -> int:
+    from .service import run_cache_peer
+    from .sweep.cache import DEFAULT_QUARANTINE_CAP
+
+    cache = CompileCache(
+        args.cache_dir,
+        size_budget=args.size_budget,
+        quarantine_cap=(
+            args.quarantine_cap
+            if args.quarantine_cap is not None
+            else DEFAULT_QUARANTINE_CAP
+        ),
+    )
+    return run_cache_peer(
+        host=args.host, port=args.port, cache=cache, announce=print
+    )
+
+
+def _cmd_cache_bench(args) -> int:
+    import json
+
+    from .perf import has_drift
+    from .perf.cache_bench import run_cache_bench, write_cache_report
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+    report = run_cache_bench(
+        fast=args.fast,
+        engines=args.engines,
+        jobs=args.jobs,
+        progress=print,
+    )
+    print()
+    print(report.to_text())
+    output = args.output if args.output is not None else BENCH_CACHE_FILENAME
+    if output != "-":
+        write_cache_report(report, output)
+        print(f"wrote {output}")
+    warm = report.meta["cache_bench"]["warm_fleet"]
+    if warm["compiled"] != 0:
+        print(
+            f"error: warm fleet performed {warm['compiled']} compilation(s); "
+            "expected 0 (every case must resolve from the seeded peer)"
+        )
+        return 1
+    if baseline is not None:
+        if has_drift(baseline, report):
+            print("error: behavioural fingerprint drift vs baseline")
+            return 1
+        print(f"fingerprints identical to {args.baseline} across all tier paths")
+    return 0
+
+
 def _cmd_service_bench(args) -> int:
     report = run_service_bench(
         jobs=args.jobs,
@@ -489,6 +629,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "cache-serve":
+        return _cmd_cache_serve(args)
+    if args.command == "cache-bench":
+        return _cmd_cache_bench(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
     if args.command == "list":

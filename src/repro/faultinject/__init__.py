@@ -2,9 +2,11 @@
 
 ``repro chaos`` drives seeded campaigns of fault scenarios — worker kills
 and stalls, injected disk read/write errors, truncated cache entries,
-connections reset mid-frame, clients abandoning requests — against a real
-in-process :class:`~repro.service.ServiceThread`, and checks the
-fault-tolerance invariants after every scenario:
+connections reset mid-frame, clients abandoning requests, a remote cache
+peer resetting mid-frame or serving torn entries — against a real
+in-process :class:`~repro.service.ServiceThread` backed by a real
+:class:`~repro.service.CachePeerThread`, and checks the fault-tolerance
+invariants after every scenario:
 
 * no accepted request is ever lost: every request ends in a reply or a
   structured error frame with a stable code, never a hang or a raw
@@ -24,7 +26,11 @@ Determinism follows the fuzzing subsystem's splitmix64 seed scheme
 against the same requests on every run and platform.
 """
 
-from .injectors import ScriptedDiskFaults, ScriptedWorkerFaults
+from .injectors import (
+    ScriptedDiskFaults,
+    ScriptedPeerFaults,
+    ScriptedWorkerFaults,
+)
 from .plan import CHAOS_MODES, ChaosScenario, plan_scenario
 from .harness import ChaosReport, run_chaos
 
@@ -33,6 +39,7 @@ __all__ = [
     "ChaosReport",
     "ChaosScenario",
     "ScriptedDiskFaults",
+    "ScriptedPeerFaults",
     "ScriptedWorkerFaults",
     "plan_scenario",
     "run_chaos",

@@ -1,9 +1,9 @@
 """The chaos campaign runner behind ``repro chaos``.
 
 :func:`run_chaos` boots one real :class:`~repro.service.ServiceThread`
-(supervised worker pool, crash-safe disk cache, replay validation ON)
-with both scriptable injectors installed, then drives ``scenarios``
-seeded fault episodes through it sequentially.  After every scenario the
+(supervised worker pool, crash-safe disk cache, remote cache peer,
+replay validation ON) with all three scriptable injectors installed,
+then drives ``scenarios`` seeded fault episodes through it sequentially.  After every scenario the
 invariant oracles run; any violation is recorded with the scenario's
 seed/index so ``repro chaos --seed S --scenarios i+1`` reproduces it.
 
@@ -25,7 +25,9 @@ from typing import Dict, List, Optional
 
 from ..compiler.result import FINGERPRINT_FIELDS
 from ..service import (
+    CachePeerThread,
     Client,
+    RemoteCache,
     RetryPolicy,
     ServiceError,
     ServiceThread,
@@ -33,7 +35,11 @@ from ..service import (
 )
 from ..sweep import CompileCache, job_key
 from ..workloads import load_benchmark
-from .injectors import ScriptedDiskFaults, ScriptedWorkerFaults
+from .injectors import (
+    ScriptedDiskFaults,
+    ScriptedPeerFaults,
+    ScriptedWorkerFaults,
+)
 from .plan import ChaosScenario, plan_scenario
 
 #: per-job compile deadline the campaign server enforces — generous for
@@ -126,14 +132,21 @@ def run_chaos(
     started = time.monotonic()
     worker_faults = ScriptedWorkerFaults()
     disk_faults = ScriptedDiskFaults()
+    peer_faults = ScriptedPeerFaults()
     if cache_dir is None:
         cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
     cache = CompileCache(cache_dir, faults=disk_faults)
+    peer_dir = tempfile.mkdtemp(prefix="repro-chaos-peer-")
     expected: Dict[str, dict] = {}  # job key -> first fingerprint seen
 
-    with ServiceThread(
+    with CachePeerThread(
+        cache=CompileCache(peer_dir),
+        faults=peer_faults,
+        allow_shutdown=False,
+    ) as peer, ServiceThread(
         jobs=jobs,
         cache=cache,
+        remote=RemoteCache(*peer.address),
         validate=True,  # every response replay-validated: the strongest
         # possible "never serve a poisoned result" oracle
         max_pending=8,
@@ -144,6 +157,7 @@ def run_chaos(
         worker_faults=worker_faults,
     ) as thread:
         host, port = thread.address
+        engine = thread.service.engine
         for index in range(scenarios):
             scenario = plan_scenario(seed, index)
             if progress is not None and index % 25 == 0:
@@ -152,8 +166,8 @@ def run_chaos(
                     f"({len(report.violations)} violation(s) so far)"
                 )
             _run_scenario(
-                scenario, host, port, cache_dir,
-                worker_faults, disk_faults, expected, report,
+                scenario, host, port, cache_dir, engine,
+                worker_faults, disk_faults, peer_faults, expected, report,
             )
             if not _probe_alive(host, port):
                 report.violations.append(
@@ -166,6 +180,8 @@ def run_chaos(
             "disk-read": disk_faults.read_faults,
             "disk-write": disk_faults.write_faults,
             "truncation": disk_faults.truncations,
+            "peer-reset": peer_faults.resets,
+            "peer-torn": peer_faults.corruptions,
         }
         _bench_phase(report, host, port, bench_baseline)
         try:
@@ -182,8 +198,10 @@ def _run_scenario(
     host: str,
     port: int,
     cache_dir: str,
+    engine,
     worker_faults: ScriptedWorkerFaults,
     disk_faults: ScriptedDiskFaults,
+    peer_faults: ScriptedPeerFaults,
     expected: Dict[str, dict],
     report: ChaosReport,
 ) -> None:
@@ -208,11 +226,26 @@ def _run_scenario(
             _check_truncation_quarantined(
                 scenario, host, port, cache_dir, disk_faults, expected, report
             )
+        elif scenario.mode in ("peer-reset", "peer-torn"):
+            # warm every tier (including the peer), then purge the local
+            # memo + disk entries so the retry must resolve through the
+            # remote peer — with its fault budget armed
+            _checked_compile(scenario, host, port, expected, report)
+            engine.purge(
+                expected_fingerprint(scenario.workload, scenario.config)
+            )
+            peer_faults.arm(
+                conn_resets=scenario.peer_resets,
+                corrupt_gets=scenario.peer_corrupts,
+            )
+            report.count(scenario.mode)
+            _checked_compile(scenario, host, port, expected, report)
         else:
             _checked_compile(scenario, host, port, expected, report)
     finally:
         worker_faults.disarm()
         disk_faults.disarm()
+        peer_faults.disarm()
 
 
 def _chaos_client(host: str, port: int, scenario: ChaosScenario) -> Client:

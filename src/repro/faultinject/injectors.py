@@ -53,6 +53,45 @@ class ScriptedWorkerFaults:
             return fault
 
 
+class ScriptedPeerFaults:
+    """Remote-peer fault injector for :class:`~repro.service.CachePeer`.
+
+    Armed with budgets of ``cache-get`` requests to sabotage: ``reset``
+    makes the peer write half the response frame and hard-abort the
+    connection; ``corrupt`` makes it serve a deliberately torn entry
+    whose advertised checksum no longer matches the payload (the client
+    must reject it and treat the lookup as a miss).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._conn_resets = 0
+        self._corrupt_gets = 0
+        self.resets = 0
+        self.corruptions = 0
+
+    def arm(self, conn_resets: int = 0, corrupt_gets: int = 0) -> None:
+        with self._lock:
+            self._conn_resets = conn_resets
+            self._corrupt_gets = corrupt_gets
+
+    def disarm(self) -> None:
+        self.arm()
+
+    def on_get(self, key: str) -> Optional[str]:
+        """The chaos action for one ``cache-get``: None, "reset" or "corrupt"."""
+        with self._lock:
+            if self._conn_resets > 0:
+                self._conn_resets -= 1
+                self.resets += 1
+                return "reset"
+            if self._corrupt_gets > 0:
+                self._corrupt_gets -= 1
+                self.corruptions += 1
+                return "corrupt"
+            return None
+
+
 class ScriptedDiskFaults(FaultInjector):
     """Disk-fault injector for :class:`~repro.sweep.cache.CompileCache`.
 

@@ -35,6 +35,8 @@ CHAOS_MODES: Tuple[Tuple[str, int], ...] = (
     ("truncate-entry", 10),  # corrupt the on-disk entry after it lands
     ("conn-reset", 10),  # client resets the connection mid-frame
     ("abandon", 10),  # client sends a request and vanishes
+    ("peer-reset", 10),  # cache peer resets the connection mid-frame
+    ("peer-torn", 10),  # cache peer serves a torn remote entry
 )
 
 
@@ -52,6 +54,9 @@ class ChaosScenario:
     fail_reads: int = 0
     fail_writes: int = 0
     truncate_writes: int = 0
+    #: budgets for :class:`ScriptedPeerFaults` (remote cache peer).
+    peer_resets: int = 0
+    peer_corrupts: int = 0
 
     def describe(self) -> str:
         knobs = "/".join(
@@ -87,6 +92,10 @@ def plan_scenario(seed: int, index: int) -> ChaosScenario:
         scenario.fail_reads = rng.randint(1, 2)
     elif mode == "truncate-entry":
         scenario.truncate_writes = 1
+    elif mode == "peer-reset":
+        scenario.peer_resets = rng.randint(1, 2)
+    elif mode == "peer-torn":
+        scenario.peer_corrupts = 1
     return scenario
 
 

@@ -1,13 +1,17 @@
 """Compiler performance benchmarking.
 
-Two harnesses, two committed trajectory files:
+Three harnesses, three committed trajectory files:
 
 * :mod:`~repro.perf.bench` (``repro bench``) times end-to-end
   compilations over the workload suite and gates on the behavioural
   fingerprint — ``BENCH_routing.json``;
 * :mod:`~repro.perf.service_bench` (``repro service-bench``) measures
   the compile service's cold/warm/coalesce behaviour and sustained
-  throughput — ``BENCH_service.json``.
+  throughput — ``BENCH_service.json``;
+* :mod:`~repro.perf.cache_bench` (``repro cache-bench``) drives the
+  tiered cache through every resolution path — a cold engine fleet
+  warming from one seeded ``cache-serve`` peer, disk/memo promotion,
+  and a peer outage — ``BENCH_cache.json``.
 
 plus :mod:`~repro.perf.profiler`, the per-phase attribution layer both
 harnesses and the compile pipeline share (``repro bench --profile``).
@@ -33,8 +37,13 @@ _SERVICE_EXPORTS = {
     "service_report_text",
     "write_service_report",
 }
+_CACHE_BENCH_EXPORTS = {
+    "BENCH_CACHE_FILENAME",
+    "run_cache_bench",
+    "write_cache_report",
+}
 
-__all__ = sorted(_BENCH_EXPORTS | _SERVICE_EXPORTS)
+__all__ = sorted(_BENCH_EXPORTS | _SERVICE_EXPORTS | _CACHE_BENCH_EXPORTS)
 
 
 def __getattr__(name):
@@ -46,4 +55,8 @@ def __getattr__(name):
         from . import service_bench
 
         return getattr(service_bench, name)
+    if name in _CACHE_BENCH_EXPORTS:
+        from . import cache_bench
+
+        return getattr(cache_bench, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

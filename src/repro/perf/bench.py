@@ -213,6 +213,7 @@ def run_bench(
     progress=None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    remote=None,
     validate: bool = False,
     profile: bool = False,
     backend: Optional[str] = None,
@@ -231,6 +232,10 @@ def run_bench(
             :class:`~repro.sweep.CompileCache` rooted here; per-case wall is
             then the resolution time (near zero when warm) and ``meta.cache``
             carries the hit/miss counters.
+        remote: optional :class:`~repro.service.RemoteCache` tier below the
+            disk cache (the ``--remote-cache`` flag); forces the engine
+            resolution path even without ``cache_dir``.  Per-tier counters
+            land in ``meta.cache_tiers``.
         validate: replay-validate every case's schedule (outside the timed
             region); raises :class:`~repro.verify.ValidationError` on the
             first violation.
@@ -257,14 +262,19 @@ def run_bench(
     )
     if validate:
         report.meta["validated"] = True
-    if profile and cache_dir is not None:
+    engine_path = cache_dir is not None or remote is not None
+    if profile and engine_path:
         raise ValueError("--profile attributes compile phases; it does not apply to cache resolution runs")
     cases = bench_cases(fast, workloads)
     sweep_start = time.perf_counter()
-    if cache_dir is not None:
+    if engine_path:
         # cache resolution is single-shot, so label the walls honestly
         report.meta["repeats"] = 1
-        engine = SweepEngine(jobs=jobs, cache=CompileCache(cache_dir))
+        engine = SweepEngine(
+            jobs=jobs,
+            cache=CompileCache(cache_dir) if cache_dir is not None else None,
+            remote=remote,
+        )
         circuits = {c.workload: load_benchmark(c.workload) for c in cases}
         if jobs > 1:
             engine.prefetch(
@@ -314,8 +324,10 @@ def run_bench(
             if progress is not None:
                 progress(f"{case.key}: {row['wall']:.3f}s makespan={row['makespan']}")
     finally:
-        if cache_dir is not None:
+        if engine_path:
             report.meta["cache"] = engine.counters.as_dict()
+            report.meta["cache_tiers"] = engine.tier_stats()
+            engine.shutdown()
         elif jobs > 1:
             pool.shutdown()
     report.meta["sweep_wall"] = round(time.perf_counter() - sweep_start, 4)

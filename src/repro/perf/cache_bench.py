@@ -1,0 +1,207 @@
+"""Tiered-cache benchmark: a cold engine fleet warming from one peer.
+
+``repro cache-bench`` measures the tentpole behaviour of the tiered
+cache end to end, with a real ``cache-serve`` peer on a real socket:
+
+1. **seed** — one engine (disk + remote tiers) compiles the benchmark
+   matrix; every fill propagates to the peer.
+2. **warm_fleet** — ``engines - 1`` cold engines, each with a fresh,
+   empty disk cache, resolve the same matrix against the seeded peer.
+   Every case must resolve as a remote hit: the fleet performs **zero**
+   compilations (the CLI exits 1 otherwise).
+3. **disk** — a fresh engine (no remote) over one warmed disk directory:
+   remote hits were promoted, so everything now serves from disk.
+4. **memo** — the same engine resolves the matrix again, entirely from
+   its in-process memo.
+5. **remote_down** — the peer is stopped; a fresh engine pointing at the
+   dead address recompiles everything.  The outage degrades to misses —
+   no errors reach the caller.
+
+Every phase's results must carry identical behavioural fingerprints
+(checked in-run, case by case), and the report is shaped like
+``BENCH_routing.json`` so ``--baseline`` can gate it with the standard
+:func:`~repro.perf.bench.has_drift` check.  ``meta.cache_bench`` records
+per-phase walls, sweep counters and tier stats.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import __version__
+from ..sweep import CompileCache, SweepEngine
+from ..workloads import load_benchmark
+from .bench import BenchCase, BenchReport, _case_config, bench_cases
+
+#: default output file for the tiered-cache trajectory.
+BENCH_CACHE_FILENAME = "BENCH_cache.json"
+
+
+def _resolve_matrix(
+    engine: SweepEngine, cases: List[BenchCase], circuits: Dict[str, object]
+) -> Dict[str, dict]:
+    """Resolve every case through ``engine``; rows keyed like BenchReport."""
+    rows: Dict[str, dict] = {}
+    for case in cases:
+        start = time.perf_counter()
+        result = engine.compile(circuits[case.workload], _case_config(case))
+        wall = time.perf_counter() - start
+        rows[case.key] = {
+            "wall": round(wall, 4),
+            "total_qubits": result.total_qubits,
+            **result.fingerprint(),
+        }
+    return rows
+
+
+def _phase_snapshot(engine: SweepEngine, wall: float) -> dict:
+    return {
+        "wall": round(wall, 4),
+        **engine.counters.as_dict(),
+        "tiers": engine.tier_stats(),
+    }
+
+
+def _check_identical(
+    reference: Dict[str, dict], rows: Dict[str, dict], phase: str
+) -> None:
+    from ..compiler.result import FINGERPRINT_FIELDS
+
+    for key, row in rows.items():
+        for field in FINGERPRINT_FIELDS:
+            if reference[key].get(field) != row.get(field):
+                raise AssertionError(
+                    f"tier path {phase!r} changed the fingerprint of {key}: "
+                    f"{field} {reference[key].get(field)!r} -> {row.get(field)!r}"
+                )
+
+
+def run_cache_bench(
+    fast: bool = False,
+    engines: int = 3,
+    jobs: int = 1,
+    progress=None,
+) -> BenchReport:
+    """Run the five tier-path phases and return the combined report.
+
+    ``report.cases`` carries the seed phase's rows (full fingerprints, so
+    drift can be gated against ``BENCH_routing.json``); every other phase
+    is verified in-run to produce byte-identical fingerprints.
+    """
+    from ..service import CachePeerThread, RemoteCache
+    from ..service.client import RetryPolicy
+
+    engines = max(2, int(engines))
+    cases = bench_cases(fast)
+    circuits = {c.workload: load_benchmark(c.workload) for c in cases}
+    report = BenchReport(
+        meta={
+            "version": __version__,
+            "mode": "fast" if fast else "full",
+            "engines": engines,
+            "jobs": max(1, jobs),
+        }
+    )
+    phases: Dict[str, dict] = {}
+    sweep_start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-cache-bench-") as tmp:
+        tmp_path = Path(tmp)
+        peer_cache = CompileCache(tmp_path / "peer")
+        with CachePeerThread(cache=peer_cache, allow_shutdown=False) as peer:
+            host, port = peer.address
+
+            # 1. seed: one engine compiles the matrix and fills the peer
+            seeder = SweepEngine(
+                jobs=max(1, jobs),
+                cache=CompileCache(tmp_path / "seed"),
+                remote=RemoteCache(host, port),
+            )
+            start = time.perf_counter()
+            reference = _resolve_matrix(seeder, cases, circuits)
+            phases["seed"] = _phase_snapshot(seeder, time.perf_counter() - start)
+            seeder.shutdown()
+            if progress is not None:
+                progress(f"[seed] {seeder.counters.describe()}")
+
+            # 2. warm fleet: cold engines, fresh disks, one shared peer
+            fleet_compiled = 0
+            fleet_remote_hits = 0
+            warm_dir = tmp_path / "warm-0"
+            start = time.perf_counter()
+            for index in range(engines - 1):
+                member = SweepEngine(
+                    cache=CompileCache(tmp_path / f"warm-{index}"),
+                    remote=RemoteCache(host, port),
+                )
+                rows = _resolve_matrix(member, cases, circuits)
+                _check_identical(reference, rows, "remote")
+                fleet_compiled += member.counters.compiled
+                fleet_remote_hits += member.counters.remote_hits
+                member.shutdown()
+            phases["warm_fleet"] = {
+                "wall": round(time.perf_counter() - start, 4),
+                "engines": engines - 1,
+                "compiled": fleet_compiled,
+                "remote_hits": fleet_remote_hits,
+            }
+            if progress is not None:
+                progress(
+                    f"[warm_fleet] {engines - 1} engine(s): "
+                    f"{fleet_remote_hits} remote hits, "
+                    f"{fleet_compiled} compiled"
+                )
+
+            # 3. disk: promotion left a warmed disk dir — no remote needed
+            disk_engine = SweepEngine(cache=CompileCache(warm_dir))
+            start = time.perf_counter()
+            rows = _resolve_matrix(disk_engine, cases, circuits)
+            _check_identical(reference, rows, "disk")
+            phases["disk"] = _phase_snapshot(
+                disk_engine, time.perf_counter() - start
+            )
+            if progress is not None:
+                progress(f"[disk] {disk_engine.counters.describe()}")
+
+            # 4. memo: the same engine again, now entirely in-process
+            start = time.perf_counter()
+            rows = _resolve_matrix(disk_engine, cases, circuits)
+            _check_identical(reference, rows, "memo")
+            phases["memo"] = _phase_snapshot(
+                disk_engine, time.perf_counter() - start
+            )
+            disk_engine.shutdown()
+
+        # 5. remote down: the peer is gone; outage must degrade to a miss
+        down = SweepEngine(
+            cache=CompileCache(tmp_path / "down"),
+            remote=RemoteCache(
+                host,
+                port,
+                timeout=0.2,
+                retry=RetryPolicy(attempts=1, base_delay=0.0, max_delay=0.0),
+                breaker_cooldown=30.0,
+            ),
+        )
+        start = time.perf_counter()
+        rows = _resolve_matrix(down, cases, circuits)
+        _check_identical(reference, rows, "remote_down")
+        phases["remote_down"] = _phase_snapshot(
+            down, time.perf_counter() - start
+        )
+        down.shutdown()
+        if progress is not None:
+            progress(f"[remote_down] {down.counters.describe()}")
+
+    report.cases = reference
+    report.total_wall = sum(row["wall"] for row in reference.values())
+    report.meta["sweep_wall"] = round(time.perf_counter() - sweep_start, 4)
+    report.meta["cache_bench"] = phases
+    return report
+
+
+def write_cache_report(report: BenchReport, path: str) -> None:
+    """Persist a cache-bench report (same JSON shape as ``BENCH_routing``)."""
+    report.write(path)

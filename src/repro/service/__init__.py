@@ -14,7 +14,13 @@ the same engine into a long-lived multi-client endpoint (``repro serve``):
   (worker pool + disk cache), plus :class:`ServiceThread` for running a
   real server in-process (tests, benchmarks, smoke scripts);
 * :mod:`~repro.service.client` — :class:`Client`, the synchronous
-  request/response client scripts and tests talk through.
+  request/response client scripts and tests talk through;
+* :mod:`~repro.service.cache_peer` — :class:`CachePeer`, the
+  ``repro cache-serve`` endpoint: a get/put-by-job-key result store a
+  fleet of engines warms itself from;
+* :mod:`~repro.service.remote_cache` — :class:`RemoteCache`, the client
+  half: the engine's untrusted remote cache tier (checksummed frames,
+  retry + circuit breaker, outage degrades to a miss).
 
 Responses carry the same behavioural fingerprint the perf harness gates
 on, and the job keys are byte-identical to what ``repro compile`` /
@@ -23,6 +29,7 @@ a different compiler.
 """
 
 from .batcher import CompileBroker, OverloadedError, ServiceMetrics
+from .cache_peer import CachePeer, CachePeerThread, run_cache_peer
 from .client import Client, CompileReply, RetryPolicy, ServiceError
 from .protocol import (
     DEFAULT_PORT,
@@ -31,13 +38,17 @@ from .protocol import (
     RETRYABLE_CODES,
     ProtocolError,
 )
+from .remote_cache import DEFAULT_CACHE_PORT, RemoteCache, parse_peer
 from .server import DEFAULT_MAX_PENDING, CompileService, ServiceThread, run_server
 
 __all__ = [
+    "CachePeer",
+    "CachePeerThread",
     "Client",
     "CompileBroker",
     "CompileReply",
     "CompileService",
+    "DEFAULT_CACHE_PORT",
     "DEFAULT_MAX_PENDING",
     "DEFAULT_PORT",
     "ERROR_CODES",
@@ -45,9 +56,12 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RETRYABLE_CODES",
+    "RemoteCache",
     "RetryPolicy",
     "ServiceError",
     "ServiceMetrics",
     "ServiceThread",
+    "parse_peer",
+    "run_cache_peer",
     "run_server",
 ]

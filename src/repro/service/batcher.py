@@ -8,8 +8,9 @@ it resolves, in order:
    is already in flight: piggyback on its future instead of compiling the
    same job twice.  This is what makes a thundering herd of identical
    requests cost one compilation.
-2. **warm hit** — the engine's memo or the on-disk sweep cache already
-   holds the result: serve it with zero recompilation.
+2. **warm hit** — one of the engine's cache tiers (memo, on-disk sweep
+   cache, or a remote ``cache-serve`` peer) already holds the result:
+   serve it with zero recompilation.
 3. **compile** — dispatch to the engine's long-lived process pool, but
    only while fewer than ``max_pending`` distinct jobs are in flight;
    beyond that a request may wait up to ``queue_wait`` seconds for a slot
@@ -114,6 +115,7 @@ class ServiceMetrics:
         self.coalesced = 0
         self.memo_hits = 0
         self.disk_hits = 0
+        self.remote_hits = 0
         self.compiled = 0
         self.overloaded = 0
         self.validation_failures = 0
@@ -136,13 +138,15 @@ class ServiceMetrics:
             self.memo_hits += 1
         elif source == "disk":
             self.disk_hits += 1
+        elif source == "remote":
+            self.remote_hits += 1
         elif source == "compiled":
             self.compiled += 1
 
     @property
     def cache_hits(self) -> int:
-        """Requests served without compiling (memo + disk)."""
-        return self.memo_hits + self.disk_hits
+        """Requests served without compiling (memo + disk + remote)."""
+        return self.memo_hits + self.disk_hits + self.remote_hits
 
     def snapshot(self) -> dict:
         return {
@@ -156,6 +160,7 @@ class ServiceMetrics:
                 "coalesced": self.coalesced,
                 "memo_hits": self.memo_hits,
                 "disk_hits": self.disk_hits,
+                "remote_hits": self.remote_hits,
                 "cache_hits": self.cache_hits,
                 "compiled": self.compiled,
                 "overloaded": self.overloaded,

@@ -1,0 +1,401 @@
+"""The cache peer behind ``repro cache-serve``.
+
+A :class:`CachePeer` is the **remote tier's server half**: a small
+asyncio TCP endpoint speaking the same newline-delimited JSON codec as
+the compile service, backed by one :class:`~repro.sweep.CompileCache`
+directory.  It never compiles anything — it only moves verified result
+payloads by SHA-256 job key, so a fleet of engines can warm each other.
+
+Ops:
+
+``cache-get``
+    ``{"op": "cache-get", "key": K}`` answers
+    ``{"ok": true, "found": true, "key": K, "checksum": C, "result": {...}}``
+    or ``{"ok": true, "found": false}``.  The checksum lets the client
+    reject a torn frame or torn stored entry without trusting the peer.
+``cache-put``
+    ``{"op": "cache-put", "key": K, "checksum": C, "result": {...}}``.
+    The peer recomputes the checksum over the payload and rejects a
+    mismatch with ``bad-request`` — a torn upload can never land.
+``stats`` / ``ping`` / ``shutdown``
+    As on the compile service (``shutdown`` honoured unless started
+    with ``allow_shutdown=False``).
+
+The peer does **not** replay-validate payloads: validation needs the
+circuit, which never crosses this wire.  That defense lives in the
+engine (every hit from the untrusted remote tier is replay-validated on
+ingest before it is served or promoted) — the peer's checksum merely
+guarantees the bytes are the bytes that were stored.
+
+``faults`` is the chaos seam: a
+:class:`~repro.faultinject.ScriptedPeerFaults` can make a ``cache-get``
+reset the connection mid-frame or serve a deliberately torn entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import copy
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__
+from ..sweep import CompileCache
+from ..sweep.cache import payload_checksum
+from . import protocol
+from .remote_cache import DEFAULT_CACHE_PORT
+
+#: 64 hex chars — the only key shape the peer will address storage with.
+_KEY_LEN = 64
+
+
+def _valid_key(key: Any) -> bool:
+    return (
+        isinstance(key, str)
+        and len(key) == _KEY_LEN
+        and all(c in "0123456789abcdef" for c in key)
+    )
+
+
+class CachePeer:
+    """A get/put-by-key cache server over one ``CompileCache`` directory.
+
+    Args:
+        host / port: bind address (port 0 picks an ephemeral port).
+        cache: the backing store (its ``size_budget``/``quarantine_cap``
+            bound the peer's disk use).
+        allow_shutdown: honour the ``shutdown`` op.
+        faults: optional scripted fault hook (chaos harness only) with an
+            ``on_get(key) -> None | "reset" | "corrupt"`` method.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_CACHE_PORT,
+        cache: Optional[CompileCache] = None,
+        allow_shutdown: bool = True,
+        faults=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache = cache if cache is not None else CompileCache()
+        self.allow_shutdown = allow_shutdown
+        self.faults = faults
+        self.requests = 0
+        self.rejected_puts = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("cache peer is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def serve_until_stopped(self) -> None:
+        await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode_line(
+                            protocol.error_response(
+                                protocol.E_BAD_REQUEST, "request line too long"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                self.requests += 1
+                response, action = await self._dispatch(line)
+                data = protocol.encode_line(response)
+                if action == "reset":
+                    # chaos: half a frame, then a hard RST mid-response
+                    writer.write(data[: max(1, len(data) // 2)])
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                    writer.transport.abort()
+                    return
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # loop teardown cancelled an idle keep-alive read — hang up
+            # quietly instead of letting the stream protocol log it
+            pass
+        finally:
+            writer.close()
+            # CancelledError included: loop teardown may cancel the close
+            # handshake itself
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, line: bytes
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Resolve one request to ``(response, chaos_action)``."""
+        loop = asyncio.get_running_loop()
+        try:
+            message = protocol.decode_line(line)
+            op = str(message.get("op", "?"))
+            if op == "cache-get":
+                return await loop.run_in_executor(
+                    None, self._handle_get, message
+                )
+            if op == "cache-put":
+                return (
+                    await loop.run_in_executor(None, self._handle_put, message),
+                    None,
+                )
+            if op == "stats":
+                return self._handle_stats(), None
+            if op == "ping":
+                return (
+                    {
+                        "ok": True,
+                        "op": "ping",
+                        "version": __version__,
+                        "protocol": protocol.PROTOCOL_VERSION,
+                    },
+                    None,
+                )
+            if op == "shutdown" and self.allow_shutdown:
+                self.request_stop()
+                return {"ok": True, "op": "shutdown"}, None
+            raise protocol.ProtocolError(
+                protocol.E_BAD_REQUEST, f"unknown op {op!r}"
+            )
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(exc.code, str(exc)), None
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the peer
+            return (
+                protocol.error_response(
+                    protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+                ),
+                None,
+            )
+
+    # -- op handlers (run on the executor — they touch disk) ----------------
+
+    def _handle_get(
+        self, message: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        key = message.get("key")
+        if not _valid_key(key):
+            raise protocol.ProtocolError(
+                protocol.E_BAD_REQUEST, "'key' must be a 64-char hex job key"
+            )
+        action = self.faults.on_get(key) if self.faults is not None else None
+        payload = self.cache.get(key)
+        if payload is None:
+            return {"ok": True, "op": "cache-get", "found": False}, action
+        checksum = payload_checksum(payload)
+        if action == "corrupt":
+            # chaos: serve a torn entry — the advertised checksum stays
+            # that of the stored bytes, so the client must reject it
+            payload = copy.deepcopy(payload)
+            payload["_torn"] = True
+        return (
+            {
+                "ok": True,
+                "op": "cache-get",
+                "found": True,
+                "key": key,
+                "checksum": checksum,
+                "result": payload,
+            },
+            action,
+        )
+
+    def _handle_put(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        key = message.get("key")
+        if not _valid_key(key):
+            raise protocol.ProtocolError(
+                protocol.E_BAD_REQUEST, "'key' must be a 64-char hex job key"
+            )
+        result = message.get("result")
+        if not isinstance(result, dict):
+            raise protocol.ProtocolError(
+                protocol.E_BAD_REQUEST, "'result' must be a JSON object"
+            )
+        if message.get("checksum") != payload_checksum(result):
+            self.rejected_puts += 1
+            raise protocol.ProtocolError(
+                protocol.E_BAD_REQUEST,
+                "checksum does not match the payload (torn upload rejected)",
+            )
+        self.cache.put(key, result)
+        return {"ok": True, "op": "cache-put", "stored": True, "key": key}
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "stats",
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "stats": {
+                "dir": str(self.cache.root),
+                "requests": self.requests,
+                "rejected_puts": self.rejected_puts,
+                "entries": len(self.cache),
+                **self.cache.stats(),
+            },
+        }
+
+
+# -- blocking front-ends -------------------------------------------------------
+
+
+def run_cache_peer(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_CACHE_PORT,
+    cache: Optional[CompileCache] = None,
+    announce=None,
+) -> int:
+    """Run a cache peer until SIGINT/SIGTERM (the ``repro cache-serve`` body)."""
+    import signal
+
+    async def _main() -> None:
+        peer = CachePeer(host=host, port=port, cache=cache)
+        await peer.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, peer.request_stop)
+        if announce is not None:
+            bound_host, bound_port = peer.address
+            budget = peer.cache.size_budget
+            budget_note = (
+                f", budget {budget} bytes" if budget is not None else ""
+            )
+            announce(
+                f"repro cache peer on {bound_host}:{bound_port} "
+                f"(store {peer.cache.root}{budget_note})"
+            )
+        await peer.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class CachePeerThread:
+    """A cache peer running on a dedicated background thread.
+
+    Usage::
+
+        with CachePeerThread(cache=CompileCache(tmp)) as peer:
+            remote = RemoteCache(*peer.address)
+            ...
+    """
+
+    def __init__(self, **peer_kwargs: Any) -> None:
+        peer_kwargs.setdefault("port", 0)
+        self._kwargs = peer_kwargs
+        self._peer: Optional[CachePeer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cache-peer", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            try:
+                self._peer = CachePeer(**self._kwargs)
+                await self._peer.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:
+                self._startup_error = exc
+                raise
+            finally:
+                self._ready.set()
+            await self._peer.serve_until_stopped()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:
+            if self._startup_error is None and not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    def start(self) -> "CachePeerThread":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"cache peer failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self._peer is None or self._loop is None:
+            raise RuntimeError("cache peer failed to start (timeout)")
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._peer is None:
+            raise RuntimeError("cache peer is not started")
+        return self._peer.address
+
+    @property
+    def peer(self) -> CachePeer:
+        if self._peer is None:
+            raise RuntimeError("cache peer is not started")
+        return self._peer
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._peer.request_stop)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "CachePeerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

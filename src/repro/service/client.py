@@ -55,7 +55,7 @@ class CompileReply:
         key: the content-addressed job key (identical to what
             ``repro.sweep.job_key`` computes locally for the same job).
         source: where the server resolved it — ``compiled``, ``coalesced``,
-            ``memo`` or ``disk``.
+            ``memo``, ``disk`` or ``remote``.
         wall: server-side wall seconds for this request.
         fingerprint: behavioural fingerprint (makespan / op counts / stats).
         summary: headline metrics (execution time, qubits, t states, ...).
@@ -74,8 +74,8 @@ class CompileReply:
 
     @property
     def warm(self) -> bool:
-        """True when the request cost zero compilations (memo/disk hit)."""
-        return self.source in ("memo", "disk")
+        """True when the request cost zero compilations (a cache-tier hit)."""
+        return self.source in ("memo", "disk", "remote")
 
 
 @dataclass

@@ -235,7 +235,8 @@ def compile_response(
 
     ``source`` records where the broker found the result: ``compiled``,
     ``coalesced`` (piggybacked on an identical in-flight request),
-    ``memo`` (this process already had it) or ``disk`` (persistent cache).
+    ``memo`` (this process already had it), ``disk`` (persistent cache)
+    or ``remote`` (fetched from a ``cache-serve`` peer, replay-validated).
     """
     payload: Dict[str, Any] = {
         "ok": True,

@@ -58,6 +58,10 @@ class CompileService:
         jobs: worker processes in the persistent compile pool.
         cache: persistent result store shared with the batch CLI, or None
             to keep results memo-only for this process's lifetime.
+        remote: optional remote cache tier (a
+            :class:`~repro.service.remote_cache.RemoteCache`) — lets a
+            fleet of services share one ``repro cache-serve`` peer.
+            Remote hits are replay-validated by the engine on ingest.
         validate: replay-validate every response before it is sent
             (fresh, memoed and disk-cached results alike); failures reach
             the client as the structured ``validation-failed`` error.
@@ -84,6 +88,7 @@ class CompileService:
         port: int = DEFAULT_PORT,
         jobs: int = 1,
         cache: Optional[CompileCache] = None,
+        remote=None,
         validate: bool = False,
         max_pending: int = DEFAULT_MAX_PENDING,
         allow_shutdown: bool = True,
@@ -101,6 +106,7 @@ class CompileService:
         self.engine = SweepEngine(
             jobs=jobs,
             cache=cache,
+            remote=remote,
             validate=validate,
             persistent=True,
             job_deadline=job_deadline,
@@ -428,6 +434,7 @@ class CompileService:
             }
         else:
             stats["cache"] = None
+        stats["cache_tiers"] = self.engine.tier_stats()
         return {
             "ok": True,
             "op": "stats",
@@ -445,6 +452,7 @@ def run_server(
     port: int = DEFAULT_PORT,
     jobs: int = 1,
     cache: Optional[CompileCache] = None,
+    remote=None,
     validate: bool = False,
     max_pending: int = DEFAULT_MAX_PENDING,
     request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
@@ -466,6 +474,7 @@ def run_server(
             port=port,
             jobs=jobs,
             cache=cache,
+            remote=remote,
             validate=validate,
             max_pending=max_pending,
             request_timeout=request_timeout,
@@ -485,9 +494,14 @@ def run_server(
                 if service.engine.cache is not None
                 else "no persistent cache"
             )
+            remote_note = (
+                f", remote peer {remote.host}:{remote.port}"
+                if remote is not None
+                else ""
+            )
             announce(
                 f"repro compile service on {bound_host}:{bound_port} "
-                f"({service.engine.jobs} worker(s), {cache_note}"
+                f"({service.engine.jobs} worker(s), {cache_note}{remote_note}"
                 f"{', replay-validating' if validate else ''})"
             )
         await service.serve_until_stopped()

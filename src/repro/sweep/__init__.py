@@ -1,12 +1,24 @@
 """Parallel sweep engine: declarative compile-job grids, a dedupe planner,
-a process-pool executor and a persistent content-addressed result cache."""
+a process-pool executor and a tiered content-addressed result cache
+(bounded in-process memo -> crash-safe disk -> optional remote peer)."""
 
-from .cache import CACHE_DIR_ENV, CompileCache, default_cache_dir
+from .cache import (
+    CACHE_DIR_ENV,
+    CompileCache,
+    default_cache_dir,
+    payload_checksum,
+)
 from .executor import (
     SweepCounters,
     SweepEngine,
     active_engine,
     use_engine,
+)
+from .tiers import (
+    DEFAULT_MEMO_LIMIT,
+    CacheBackend,
+    MemoryCache,
+    TieredCache,
 )
 from .jobs import (
     CACHE_SCHEMA,
@@ -33,17 +45,22 @@ __all__ = [
     "SupervisedPool",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
+    "CacheBackend",
     "CompileCache",
     "CompileJob",
+    "DEFAULT_MEMO_LIMIT",
+    "MemoryCache",
     "SweepCounters",
     "SweepEngine",
     "SweepPlan",
+    "TieredCache",
     "active_engine",
     "circuit_fingerprint",
     "compiler_revision",
     "config_fingerprint",
     "default_cache_dir",
     "job_key",
+    "payload_checksum",
     "plan_jobs",
     "use_engine",
 ]

@@ -1,4 +1,4 @@
-"""Persistent, content-addressed store of compilation results.
+"""Persistent, content-addressed store of compilation results (disk tier).
 
 Each entry is one JSON file named by its job key (see
 :mod:`repro.sweep.jobs`): ``<cache_dir>/<key[:2]>/<key>.json``.  Because
@@ -6,6 +6,14 @@ the key already covers the circuit, the full compiler config and the
 serialization schema, invalidation is automatic — any change to the input
 or the format simply addresses a different file.  Deleting the directory
 (or passing ``--no-cache``) is always safe.
+
+:class:`CompileCache` is the **disk tier** of the tiered cache (see
+:mod:`repro.sweep.tiers`): it implements the :class:`CacheBackend`
+contract (``get``/``put``/``stats``) on top of its crash-safe store, and
+optionally enforces a byte ``size_budget`` with least-recently-used
+eviction.  Eviction never removes an entry that is being read right now
+(reads pin their key), so a tight budget degrades hit rate, never
+correctness.
 
 The store is crash-safe in both directions:
 
@@ -23,6 +31,9 @@ The store is crash-safe in both directions:
   job recompiles.  Transient I/O errors (``EIO`` and friends) miss
   without quarantining, since the bytes on disk may be fine.
 
+The quarantine directory itself is bounded (``quarantine_cap`` entries,
+oldest evicted first), so a flaky disk cannot grow it without limit.
+
 ``FaultInjector`` is the seam the chaos harness uses to make disk
 failures deterministic: its hooks run inside ``load``/``store`` and may
 raise ``OSError`` or truncate the just-written file.
@@ -34,16 +45,23 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..compiler.result import CompilationResult
+from .tiers import CacheBackend
 
 #: environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: subdirectory (under the cache root) where corrupt entries are moved.
 QUARANTINE_DIR = "quarantine"
+
+#: default bound on quarantined entries kept around for post-mortems.
+DEFAULT_QUARANTINE_CAP = 64
 
 
 def default_cache_dir() -> Path:
@@ -81,8 +99,23 @@ class FaultInjector:
         pass
 
 
-class CompileCache:
+class CompileCache(CacheBackend):
     """On-disk result store with hit/miss and corruption accounting.
+
+    The disk tier of the tiered cache: implements the
+    :class:`~repro.sweep.tiers.CacheBackend` contract, plus the legacy
+    object-level :meth:`load`/:meth:`store` API the rest of the codebase
+    grew up with.
+
+    Args:
+        cache_dir: entry-tree root (default ``$REPRO_CACHE_DIR``, else
+            ``~/.cache/repro/sweep``).
+        faults: optional :class:`FaultInjector` (chaos harness seam).
+        size_budget: soft bound in bytes on the entry tree; exceeding it
+            evicts least-recently-used entries (pinned — currently being
+            read — entries are skipped).  None disables eviction.
+        quarantine_cap: bound on files kept in ``quarantine/``; the
+            oldest are deleted beyond it.  None disables the cap.
 
     Attributes:
         hits / misses / stores: counters since construction (misses count
@@ -91,27 +124,48 @@ class CompileCache:
         read_errors: transient I/O failures during :meth:`load` (missed
             without quarantining).
         store_errors: failed :meth:`store` calls (swallowed, counted).
+        evictions: entries removed by the size budget.
+        quarantine_evictions: quarantined files removed by the cap.
     """
+
+    name = "disk"
+    trusted = True
+    object_store = False
 
     def __init__(
         self,
         cache_dir: Union[str, Path, None] = None,
         faults: Optional[FaultInjector] = None,
+        size_budget: Optional[int] = None,
+        quarantine_cap: Optional[int] = DEFAULT_QUARANTINE_CAP,
     ) -> None:
+        super().__init__()
         self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.faults = faults
+        self.size_budget = size_budget
+        self.quarantine_cap = quarantine_cap
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
         self.read_errors = 0
         self.store_errors = 0
+        self.quarantine_evictions = 0
+        # LRU index over the entry tree (key -> size in bytes), built
+        # lazily from a directory scan the first time the budget matters.
+        self._index: Optional["OrderedDict[str, int]"] = None
+        self._index_bytes = 0
+        # keys with a read in flight; eviction must never unlink them
+        self._pins: Dict[str, int] = {}
+        self._mu = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def load(self, key: str) -> Optional[CompilationResult]:
-        """The verified cached result for ``key``, or None.
+    # -- read path ----------------------------------------------------------
+
+    def _read_entry(self, key: str) -> Optional[Tuple[dict, CompilationResult]]:
+        """The verified ``(payload, result)`` for ``key``, or None.
 
         A missing file is a plain miss.  A present-but-unreadable file is
         a miss that counts a ``read_error`` (the bytes may be fine — the
@@ -142,10 +196,193 @@ class CompileCache:
             result = CompilationResult.from_dict(data["result"])
         except (ValueError, KeyError, TypeError):
             self._quarantine(path)
+            self._forget(key)
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        self._touch(key, len(raw))
+        return data["result"], result
+
+    def _pinned_read(self, key: str) -> Optional[Tuple[dict, CompilationResult]]:
+        """Read ``key`` with the entry pinned against concurrent eviction."""
+        started = time.perf_counter()
+        self._pin(key)
+        try:
+            return self._read_entry(key)
+        finally:
+            self._unpin(key)
+            self.get_ms += (time.perf_counter() - started) * 1000.0
+
+    def load(self, key: str) -> Optional[CompilationResult]:
+        """The verified cached result for ``key``, or None (see `_read_entry`)."""
+        entry = self._pinned_read(key)
+        return None if entry is None else entry[1]
+
+    def get(self, key: str) -> Optional[dict]:
+        """CacheBackend contract: the serialized result for ``key``, or None."""
+        entry = self._pinned_read(key)
+        return None if entry is None else entry[0]
+
+    def get_result(self, key: str) -> Optional[CompilationResult]:
+        return self.load(key)
+
+    # -- write path ---------------------------------------------------------
+
+    def _write_entry(self, key: str, result_dict: dict) -> None:
+        path = self._path(key)
+        envelope = {
+            "key": key,
+            "checksum": payload_checksum(result_dict),
+            "result": result_dict,
+        }
+        text = json.dumps(envelope, sort_keys=True)
+        tmp = None
+        try:
+            if self.faults is not None:
+                self.faults.on_write(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            tmp = None
+        except OSError:
+            self.store_errors += 1
+            return
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        self.stores += 1
+        self._touch(key, len(text))
+        self._evict_to_budget()
+        if self.faults is not None:
+            self.faults.after_write(path)
+
+    def put(self, key: str, result_dict: dict) -> None:
+        """Durably persist a serialized result under ``key`` (atomic).
+
+        A failing write is swallowed and counted in ``store_errors``: the
+        cache accelerates later runs, it must never fail the run that is
+        trying to warm it.
+        """
+        started = time.perf_counter()
+        try:
+            self._write_entry(key, result_dict)
+        finally:
+            self.put_ms += (time.perf_counter() - started) * 1000.0
+
+    def store(self, key: str, result: CompilationResult) -> None:
+        """Object-level :meth:`put` (the legacy API)."""
+        self.put(key, result.to_dict())
+
+    def put_result(
+        self,
+        key: str,
+        result: CompilationResult,
+        payload: Optional[dict] = None,
+    ) -> None:
+        self.put(key, payload if payload is not None else result.to_dict())
+
+    # -- LRU size budget ----------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        if self._index is not None:
+            return
+        with self._mu:
+            if self._index is not None:
+                return
+            entries = []
+            if self.root.is_dir():
+                for path in self.root.glob("[0-9a-f][0-9a-f]/*.json"):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, path.stem, stat.st_size))
+            index: "OrderedDict[str, int]" = OrderedDict()
+            total = 0
+            # oldest first, so a cold start evicts stale entries first
+            for _, key, size in sorted(entries):
+                index[key] = size
+                total += size
+            self._index = index
+            self._index_bytes = total
+
+    def _touch(self, key: str, size: int) -> None:
+        """Record ``key`` as most-recently-used at ``size`` bytes."""
+        if self.size_budget is None:
+            return
+        self._ensure_index()
+        with self._mu:
+            old = self._index.pop(key, None)
+            if old is not None:
+                self._index_bytes -= old
+            self._index[key] = size
+            self._index_bytes += size
+
+    def _forget(self, key: str) -> None:
+        if self._index is None:
+            return
+        with self._mu:
+            old = self._index.pop(key, None)
+            if old is not None:
+                self._index_bytes -= old
+
+    def _evict_to_budget(self) -> None:
+        """Unlink least-recently-used entries until under ``size_budget``.
+
+        Pinned keys (a read is in flight) are never victims: the budget
+        is a soft bound, and an entry being served right now must remain
+        on disk until its read completes.
+        """
+        if self.size_budget is None:
+            return
+        victims = []
+        with self._mu:
+            while self._index_bytes > self.size_budget:
+                victim = next(
+                    (k for k in self._index if k not in self._pins), None
+                )
+                if victim is None:  # everything left is pinned
+                    break
+                self._index_bytes -= self._index.pop(victim)
+                victims.append(victim)
+        for key in victims:
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+            self.evictions += 1
+
+    def _pin(self, key: str) -> None:
+        with self._mu:
+            self._pins[key] = self._pins.get(key, 0) + 1
+
+    def _unpin(self, key: str) -> None:
+        with self._mu:
+            count = self._pins.get(key, 0) - 1
+            if count <= 0:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count
+
+    def discard(self, key: str) -> bool:
+        """Drop one entry from the tree (the chaos harness's purge hook)."""
+        removed = False
+        try:
+            os.unlink(self._path(key))
+            removed = True
+        except OSError:
+            pass
+        self._forget(key)
+        return removed
+
+    # -- quarantine ---------------------------------------------------------
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside (best effort — never raises)."""
@@ -161,45 +398,60 @@ class CompileCache:
             except OSError:
                 pass
         self.quarantined += 1
+        self._trim_quarantine()
 
-    def store(self, key: str, result: CompilationResult) -> None:
-        """Durably persist ``result`` under ``key`` (atomic, checksummed).
+    def quarantine_payload(
+        self, key: str, result_dict: dict, reason: str = "remote"
+    ) -> None:
+        """Park a poisoned payload that never touched the entry tree.
 
-        A failing write is swallowed and counted in ``store_errors``: the
-        cache accelerates later runs, it must never fail the run that is
-        trying to warm it.
+        Used when an **untrusted** tier (a remote peer) serves an entry
+        that fails replay validation: the bytes were never written under
+        ``<key[:2]>/<key>.json``, but keeping them around (bounded, like
+        every quarantined entry) makes the poisoning diagnosable.
         """
-        path = self._path(key)
-        result_dict = result.to_dict()
-        payload = {
-            "key": key,
-            "checksum": payload_checksum(result_dict),
-            "result": result_dict,
-        }
-        tmp = None
+        target_dir = self.root / QUARANTINE_DIR
         try:
-            if self.faults is not None:
-                self.faults.on_write(path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-            tmp = None
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / f"{key}.{reason}.json"
+            with open(target, "w") as handle:
+                json.dump(
+                    {"key": key, "reason": reason, "result": result_dict},
+                    handle,
+                    sort_keys=True,
+                )
         except OSError:
-            self.store_errors += 1
             return
-        finally:
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-        self.stores += 1
-        if self.faults is not None:
-            self.faults.after_write(path)
+        self.quarantined += 1
+        self._trim_quarantine()
+
+    def _trim_quarantine(self) -> None:
+        """Delete the oldest quarantined files beyond ``quarantine_cap``."""
+        if self.quarantine_cap is None:
+            return
+        target_dir = self.root / QUARANTINE_DIR
+        try:
+            files = [p for p in target_dir.iterdir() if p.is_file()]
+        except OSError:
+            return
+        if len(files) <= self.quarantine_cap:
+            return
+
+        def _mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        files.sort(key=lambda p: (_mtime(p), p.name))
+        for victim in files[: len(files) - self.quarantine_cap]:
+            try:
+                victim.unlink()
+                self.quarantine_evictions += 1
+            except OSError:
+                pass
+
+    # -- reporting ----------------------------------------------------------
 
     def contains(self, key: str) -> bool:
         return self._path(key).is_file()
@@ -214,6 +466,23 @@ class CompileCache:
             "read_errors": self.read_errors,
             "store_errors": self.store_errors,
         }
+
+    def stats(self) -> dict:
+        """CacheBackend tier snapshot: :meth:`health` plus eviction/latency."""
+        snap = dict(self.health())
+        snap.update(
+            {
+                "evictions": self.evictions,
+                "quarantine_evictions": self.quarantine_evictions,
+                "size_budget": self.size_budget,
+                "get_ms": round(self.get_ms, 3),
+                "put_ms": round(self.put_ms, 3),
+            }
+        )
+        if self._index is not None:
+            snap["entries"] = len(self._index)
+            snap["size_bytes"] = self._index_bytes
+        return snap
 
     def __len__(self) -> int:
         if not self.root.is_dir():

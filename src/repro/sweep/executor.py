@@ -1,11 +1,18 @@
 """Parallel sweep execution with memoisation and the persistent cache.
 
 :class:`SweepEngine` is the single entry point the experiment layer
-compiles through.  Resolution order for every job:
+compiles through.  Resolution order for every job (the tier stack of
+:mod:`repro.sweep.tiers`):
 
-1. **memo** — results already materialised in this process;
+1. **memo** — a bounded LRU of results already materialised in this
+   process (:class:`~repro.sweep.tiers.MemoryCache`);
 2. **disk** — the content-addressed :class:`~repro.sweep.cache.CompileCache`;
-3. **compile** — in-process for single jobs, or fanned out over a
+3. **remote** — an optional :class:`~repro.service.remote_cache.RemoteCache`
+   peer shared across a fleet of engines; remote hits are
+   replay-validated on ingest (a poisoned entry can never propagate)
+   and **promoted** into disk and memo, and a peer outage degrades to a
+   miss, never an error;
+4. **compile** — in-process for single jobs, or fanned out over a
    :class:`~repro.sweep.supervisor.SupervisedPool` by
    :meth:`SweepEngine.prefetch` (the pool survives worker crashes and
    enforces per-job deadlines; see :mod:`repro.sweep.supervisor`).
@@ -45,31 +52,46 @@ from .cache import CompileCache
 from .jobs import CompileJob, job_key
 from .planner import plan_jobs
 from .supervisor import Fault, SupervisedPool
+from .tiers import DEFAULT_MEMO_LIMIT, CacheBackend, MemoryCache, TieredCache
 
 
 @dataclass
 class SweepCounters:
-    """Where every requested compilation was resolved from."""
+    """Tier provenance of every requested compilation."""
 
     memo_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
     compiled: int = 0
 
     @property
     def requests(self) -> int:
-        return self.memo_hits + self.disk_hits + self.compiled
+        return self.memo_hits + self.disk_hits + self.remote_hits + self.compiled
+
+    def record_source(self, source: str) -> None:
+        """Count one resolution by its tier name."""
+        if source == "memo":
+            self.memo_hits += 1
+        elif source == "disk":
+            self.disk_hits += 1
+        elif source == "remote":
+            self.remote_hits += 1
+        else:
+            self.compiled += 1
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
             "compiled": self.compiled,
         }
 
     def describe(self) -> str:
         return (
             f"{self.requests} compile requests: {self.compiled} compiled, "
-            f"{self.disk_hits} disk hits, {self.memo_hits} memo hits"
+            f"{self.disk_hits} disk hits, {self.memo_hits} memo hits, "
+            f"{self.remote_hits} remote hits"
         )
 
 
@@ -85,6 +107,14 @@ class SweepEngine:
     Args:
         jobs: worker processes for :meth:`prefetch` (1 = fully serial).
         cache: optional persistent store; None keeps everything in-memory.
+        remote: optional untrusted remote tier (a
+            :class:`~repro.service.remote_cache.RemoteCache`, or any
+            :class:`~repro.sweep.tiers.CacheBackend`).  Remote hits are
+            **always** replay-validated before being served or promoted,
+            independent of ``validate`` — remote bytes crossed a trust
+            boundary.  Rejected entries are quarantined in the local
+            disk cache (when present) and resolved as a miss.
+        memo_limit: entry bound on the in-process memo tier (LRU).
         validate: replay-validate every resolved result against its circuit
             and config (once per job key, wherever it came from — fresh
             compile, worker, memo or disk, so cache corruption is caught
@@ -110,25 +140,35 @@ class SweepEngine:
         self,
         jobs: int = 1,
         cache: Optional[CompileCache] = None,
+        remote: Optional[CacheBackend] = None,
         validate: bool = False,
         persistent: bool = False,
         job_deadline: Optional[float] = None,
         job_attempts: int = 3,
         worker_faults: Optional[Callable[[int, int], Fault]] = None,
+        memo_limit: int = DEFAULT_MEMO_LIMIT,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.remote = remote
         self.validate = validate
         self.persistent = bool(persistent)
         self.job_deadline = job_deadline
         self.job_attempts = max(1, int(job_attempts))
         self.worker_faults = worker_faults
         self.counters = SweepCounters()
-        self._memo: Dict[str, CompilationResult] = {}
+        self.memo = MemoryCache(limit=memo_limit)
+        tiers = [self.memo]
+        if cache is not None:
+            tiers.append(cache)
+        if remote is not None:
+            tiers.append(remote)
+        self.tiers = TieredCache(tiers)
         self._validated: set = set()
         self._pool: Optional[SupervisedPool] = None
-        # guards memo/counter mutation on the service paths, where
+        # guards counter mutation on the service paths, where
         # cached_result/adopt run on multiple executor threads at once
+        # (the tiers carry their own locks)
         self._lock = threading.Lock()
 
     def _check(
@@ -164,7 +204,7 @@ class SweepEngine:
         config: CompilerConfig,
         use_cache: bool = True,
     ) -> CompilationResult:
-        """Resolve one compile point (memo -> disk -> in-process compile)."""
+        """Resolve one compile point (memo -> disk -> remote -> compile)."""
         if not use_cache:
             self.counters.compiled += 1
             return self._check(
@@ -172,7 +212,7 @@ class SweepEngine:
                 fresh=True,
             )
         key = job_key(circuit, config)
-        hit = self._lookup(key)
+        hit = self._lookup(key, circuit, config)
         if hit is not None:
             return self._check(circuit, config, hit, key)
         result = FaultTolerantCompiler(config).compile(circuit)
@@ -184,33 +224,69 @@ class SweepEngine:
         self._remember(key, result)
         return result
 
-    def _lookup(self, key: str) -> Optional[CompilationResult]:
-        hit = self._lookup_sourced(key)
+    def _lookup(
+        self, key: str, circuit: Circuit, config: CompilerConfig
+    ) -> Optional[CompilationResult]:
+        hit = self._lookup_sourced(key, circuit, config)
         return None if hit is None else hit[0]
 
-    def _lookup_sourced(
-        self, key: str
-    ) -> Optional[Tuple[CompilationResult, str]]:
-        """Memo/disk lookup returning ``(result, "memo" | "disk")``."""
-        with self._lock:
-            memo = self._memo.get(key)
-            if memo is not None:
-                self.counters.memo_hits += 1
-                return memo, "memo"
-        if self.cache is not None:
-            cached = self.cache.load(key)  # disk I/O stays outside the lock
-            if cached is not None:
-                with self._lock:
-                    self.counters.disk_hits += 1
-                    self._memo[key] = cached
-                return cached, "disk"
-        return None
+    def _ingest_guard(
+        self, circuit: Circuit, config: CompilerConfig
+    ) -> Callable[[CacheBackend, str, CompilationResult], bool]:
+        """The poisoning defense for untrusted (remote) tier hits.
 
-    def _remember(self, key: str, result: CompilationResult) -> None:
+        Replay-validates the entry against the job's own circuit and
+        config — regardless of ``self.validate``, since remote bytes
+        crossed a trust boundary.  A failing entry is quarantined in the
+        local disk cache (evidence for debugging a bad peer) and the
+        lookup treats it as a miss.
+        """
+        from ..verify import validate_result
+
+        def guard(
+            tier: CacheBackend, key: str, result: CompilationResult
+        ) -> bool:
+            report = validate_result(result, circuit, config, label=circuit.name)
+            if report.ok:
+                self._validated.add(key)
+                return True
+            if self.cache is not None:
+                self.cache.quarantine_payload(
+                    key, result.to_dict(), reason=tier.name
+                )
+            return False
+
+        return guard
+
+    def _lookup_sourced(
+        self, key: str, circuit: Circuit, config: CompilerConfig
+    ) -> Optional[Tuple[CompilationResult, str]]:
+        """Tier lookup returning ``(result, "memo" | "disk" | "remote")``.
+
+        A hit at a lower tier is promoted into the tiers above it, so
+        the next lookup for the same key resolves at the memo.
+        """
+        guard = (
+            self._ingest_guard(circuit, config)
+            if self.remote is not None
+            else None
+        )
+        hit = self.tiers.lookup(key, guard=guard)
+        if hit is None:
+            return None
+        result, source = hit
         with self._lock:
-            self._memo[key] = result
-        if self.cache is not None:
-            self.cache.store(key, result)
+            self.counters.record_source(source)
+        return result, source
+
+    def _remember(
+        self,
+        key: str,
+        result: CompilationResult,
+        payload: Optional[dict] = None,
+    ) -> None:
+        """Fill every tier (memo, disk, and the remote peer when present)."""
+        self.tiers.fill(key, result, payload)
 
     @property
     def validated_keys(self) -> frozenset:
@@ -219,7 +295,22 @@ class SweepEngine:
 
     def clear_memo(self) -> None:
         """Drop in-process results (the disk cache is untouched)."""
-        self._memo.clear()
+        self.memo.clear()
+
+    def purge(self, key: str) -> None:
+        """Forget one key in the local tiers (memo + disk).
+
+        The remote peer is deliberately untouched — this is the chaos
+        harness's hook for forcing the next lookup to resolve remotely.
+        """
+        self.memo.discard(key)
+        if self.cache is not None:
+            self.cache.discard(key)
+        self._validated.discard(key)
+
+    def tier_stats(self) -> Dict[str, dict]:
+        """Per-tier hit/miss/latency/eviction counters, keyed by tier name."""
+        return self.tiers.stats()
 
     # -- long-lived service API ---------------------------------------------
 
@@ -270,15 +361,16 @@ class SweepEngine:
         config: CompilerConfig,
         key: Optional[str] = None,
     ) -> Optional[Tuple[CompilationResult, str]]:
-        """Resolve a job from memo or disk only; never compiles.
+        """Resolve a job from the cache tiers only; never compiles.
 
-        Returns ``(result, source)`` with source ``"memo"`` or ``"disk"``,
-        or None on a cold miss.  Validates the hit when the engine was
-        constructed with ``validate=True`` (catching cache corruption).
+        Returns ``(result, source)`` with source ``"memo"``, ``"disk"``
+        or ``"remote"``, or None on a cold miss.  Validates the hit when
+        the engine was constructed with ``validate=True`` (catching
+        cache corruption); remote hits are replay-validated regardless.
         """
         if key is None:
             key = job_key(circuit, config)
-        hit = self._lookup_sourced(key)
+        hit = self._lookup_sourced(key, circuit, config)
         if hit is None:
             return None
         result, source = hit
@@ -306,7 +398,7 @@ class SweepEngine:
             self.counters.compiled += 1
         # validate before persisting (see :meth:`compile`)
         self._check(circuit, config, result, key, fresh=True)
-        self._remember(key, result)
+        self._remember(key, result, payload)
         return result
 
     def shutdown(self) -> None:
@@ -314,6 +406,9 @@ class SweepEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        close = getattr(self.remote, "close", None)
+        if close is not None:
+            close()
 
     def __enter__(self) -> "SweepEngine":
         return self
@@ -346,15 +441,16 @@ class SweepEngine:
         plan = plan_jobs(jobs)
         missing: List[CompileJob] = []
         for job in plan.unique:
-            hit = self._lookup(job.key)
+            hit = self._lookup(job.key, job.circuit, job.config)
             if hit is None:
                 missing.append(job)
             else:
                 self._check(job.circuit, job.config, hit, job.key)
         if progress is not None and plan.requested:
+            cached = len(plan.unique) - len(missing)
             progress(
                 f"{plan.describe()}; {len(missing)} to compile "
-                f"({self.counters.disk_hits} already cached)"
+                f"({cached} already cached)"
             )
         if not missing:
             return

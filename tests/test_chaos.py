@@ -51,6 +51,10 @@ class TestPlanner:
                 assert scenario.fail_reads >= 1
             elif scenario.mode == "truncate-entry":
                 assert scenario.truncate_writes == 1
+            elif scenario.mode == "peer-reset":
+                assert scenario.peer_resets >= 1
+            elif scenario.mode == "peer-torn":
+                assert scenario.peer_corrupts == 1
             else:
                 assert scenario.mode in ("clean", "conn-reset", "abandon")
 

@@ -108,7 +108,7 @@ class TestBenchCommand:
         assert main(argv) == 0
         warm = json.loads(out_path.read_text())
         assert warm["meta"]["cache"] == {
-            "memo_hits": 0, "disk_hits": 1, "compiled": 0,
+            "memo_hits": 0, "disk_hits": 1, "remote_hits": 0, "compiled": 0,
         }
         assert warm["cases"] == dict(
             cold["cases"],

@@ -141,13 +141,13 @@ class TestSweepEngine:
         engine.compile(c, cfg)
         engine.compile(c, cfg)
         assert engine.counters.as_dict() == {
-            "memo_hits": 1, "disk_hits": 0, "compiled": 1,
+            "memo_hits": 1, "disk_hits": 0, "remote_hits": 0, "compiled": 1,
         }
         # a fresh engine over the same cache dir performs zero compilations
         warm = SweepEngine(cache=CompileCache(tmp_path))
         warm.compile(c, cfg)
         assert warm.counters.as_dict() == {
-            "memo_hits": 0, "disk_hits": 1, "compiled": 0,
+            "memo_hits": 0, "disk_hits": 1, "remote_hits": 0, "compiled": 0,
         }
 
     def test_use_cache_false_bypasses_memo(self):
