@@ -42,6 +42,7 @@ from .perf.service_bench import (
     write_service_report,
 )
 from .perf.cache_bench import BENCH_CACHE_FILENAME
+from .gateway import DEFAULT_GATEWAY_PORT as GATEWAY_DEFAULT_PORT
 from .service import DEFAULT_MAX_PENDING, run_server
 from .service import DEFAULT_CACHE_PORT as CACHE_DEFAULT_PORT
 from .service import DEFAULT_PORT as SERVICE_DEFAULT_PORT
@@ -263,7 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sbench_cmd = sub.add_parser(
         "service-bench",
-        help="measure service throughput (cold/warm/coalesce phases)",
+        help="measure service throughput (cold/warm/coalesce/gateway phases)",
     )
     sbench_cmd.add_argument("--jobs", "-j", type=int, default=2,
                             help="worker processes in the service under test")
@@ -274,6 +275,44 @@ def _build_parser() -> argparse.ArgumentParser:
     sbench_cmd.add_argument("--output", "-o", default=None,
                             help="output JSON path "
                                  f"(default {BENCH_SERVICE_FILENAME}; '-' to skip)")
+    sbench_cmd.add_argument("--baseline", default=None,
+                            help="gate the gateway-phase fingerprints against "
+                                 "a previous BENCH_service.json (exit 1 on "
+                                 "drift)")
+
+    gateway_cmd = sub.add_parser(
+        "gateway",
+        help="run the multi-tenant HTTP/WebSocket gateway over N compile shards",
+    )
+    gateway_cmd.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default 127.0.0.1)")
+    gateway_cmd.add_argument("--port", type=int, default=GATEWAY_DEFAULT_PORT,
+                             help=f"TCP port (default {GATEWAY_DEFAULT_PORT}; "
+                                  "0 = ephemeral)")
+    gateway_cmd.add_argument("--shards", type=int, default=2,
+                             help="backend compile services to shard jobs "
+                                  "across (all share one cache peer)")
+    gateway_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                             help="worker processes per backend shard")
+    gateway_cmd.add_argument("--keys", default=None,
+                             help="API key file (one 'tenant:key' per line); "
+                                  "omit to run open as the anonymous tenant")
+    gateway_cmd.add_argument("--rate", type=float, default=None,
+                             help="per-tenant token-bucket refill rate in "
+                                  "requests/second (default: no rate limit)")
+    gateway_cmd.add_argument("--burst", type=float, default=None,
+                             help="token-bucket depth (default max(1, rate))")
+    gateway_cmd.add_argument("--max-pending", type=int, default=64,
+                             help="bound on concurrently dispatched jobs; "
+                                  "beyond it new submissions are shed with "
+                                  "the 'overloaded' error code")
+    gateway_cmd.add_argument("--cache-dir", default=None,
+                             help="root for all fleet state: per-shard disk "
+                                  "caches, the shared peer cache and the "
+                                  "SQLite job store (default: a fresh temp "
+                                  "dir; reuse a path to survive restarts)")
+    gateway_cmd.add_argument("--validate", action="store_true",
+                             help="replay-validate every backend response")
 
     sub.add_parser("list", help="list available benchmarks and experiments")
     return parser
@@ -587,6 +626,19 @@ def _cmd_cache_bench(args) -> int:
 
 
 def _cmd_service_bench(args) -> int:
+    import json
+
+    from .perf.service_bench import gateway_baseline_mismatches
+
+    baseline = None
+    if args.baseline:
+        # read before the run so --output may overwrite the baseline file
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
     report = run_service_bench(
         jobs=args.jobs,
         requests=args.requests,
@@ -599,6 +651,60 @@ def _cmd_service_bench(args) -> int:
     if output != "-":
         write_service_report(report, output)
         print(f"wrote {output}")
+    if baseline is not None:
+        mismatches = gateway_baseline_mismatches(baseline, report)
+        if mismatches:
+            print("error: gateway-phase fingerprint drift vs baseline:")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print(
+            f"gateway fingerprints identical to {args.baseline} "
+            "across all served cases"
+        )
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    import time as _time
+
+    from .gateway import GatewayCluster, Keyring
+
+    keyring = None
+    if args.keys:
+        try:
+            keyring = Keyring.load(args.keys)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load key file: {exc}")
+            return 2
+    cluster = GatewayCluster(
+        shards=args.shards,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        validate=args.validate,
+        keyring=keyring,
+        rate=args.rate,
+        burst=args.burst,
+        max_pending=args.max_pending,
+        host=args.host,
+        port=args.port,
+    )
+    with cluster:
+        host, port = cluster.address
+        print(
+            f"gateway listening on http://{host}:{port} "
+            f"({args.shards} shard(s) x {args.jobs} worker(s), "
+            f"{'open access' if keyring is None else f'{len(keyring)} API key(s)'}, "
+            f"rate {'off' if args.rate is None else f'{args.rate}/s'})"
+        )
+        print(f"fleet state under {cluster.cache_dir}")
+        print("endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/ws, "
+              "GET /v1/stats, GET /v1/ping")
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
     return 0
 
 
@@ -635,6 +741,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache_bench(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "list":
         return _cmd_list()
     raise AssertionError(f"unhandled command {args.command!r}")

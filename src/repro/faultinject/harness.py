@@ -33,6 +33,12 @@ from ..service import (
     ServiceThread,
     protocol,
 )
+from ..gateway import (
+    GATEWAY_ERROR_CODES,
+    GatewayClient,
+    GatewayError,
+    GatewayThread,
+)
 from ..sweep import CompileCache, job_key
 from ..workloads import load_benchmark
 from .injectors import (
@@ -137,6 +143,7 @@ def run_chaos(
         cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
     cache = CompileCache(cache_dir, faults=disk_faults)
     peer_dir = tempfile.mkdtemp(prefix="repro-chaos-peer-")
+    second_dir = tempfile.mkdtemp(prefix="repro-chaos-shard2-")
     expected: Dict[str, dict] = {}  # job key -> first fingerprint seen
 
     with CachePeerThread(
@@ -155,7 +162,22 @@ def run_chaos(
         job_deadline=JOB_DEADLINE_S,
         job_attempts=3,
         worker_faults=worker_faults,
-    ) as thread:
+    ) as thread, ServiceThread(
+        # a second, clean shard: the gateway episodes need somewhere to
+        # remap to when the battered shard is declared dead
+        jobs=1,
+        cache=CompileCache(second_dir),
+        remote=RemoteCache(*peer.address),
+        validate=True,
+        allow_shutdown=False,
+        job_deadline=JOB_DEADLINE_S,
+        job_attempts=3,
+    ) as second, GatewayThread(
+        backends=[thread.address, second.address],
+        retry=RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.2),
+        rng=random.Random(seed * 2654435761 + 7),
+        health_interval=0.05,
+    ) as gateway:
         host, port = thread.address
         engine = thread.service.engine
         for index in range(scenarios):
@@ -166,12 +188,18 @@ def run_chaos(
                     f"({len(report.violations)} violation(s) so far)"
                 )
             _run_scenario(
-                scenario, host, port, cache_dir, engine,
+                scenario, host, port, cache_dir, engine, gateway,
                 worker_faults, disk_faults, peer_faults, expected, report,
             )
             if not _probe_alive(host, port):
                 report.violations.append(
                     f"scenario {scenario.describe()}: server stopped "
+                    "answering pings — aborting campaign"
+                )
+                break
+            if not _gateway_alive(gateway):
+                report.violations.append(
+                    f"scenario {scenario.describe()}: gateway stopped "
                     "answering pings — aborting campaign"
                 )
                 break
@@ -199,6 +227,7 @@ def _run_scenario(
     port: int,
     cache_dir: str,
     engine,
+    gateway: GatewayThread,
     worker_faults: ScriptedWorkerFaults,
     disk_faults: ScriptedDiskFaults,
     peer_faults: ScriptedPeerFaults,
@@ -212,7 +241,16 @@ def _run_scenario(
         truncate_writes=scenario.truncate_writes,
     )
     try:
-        if scenario.mode == "conn-reset":
+        if scenario.mode == "gateway-disconnect":
+            _gateway_disconnect_mid_poll(gateway, scenario)
+            report.count("gateway-disconnect")
+            # the abandoned job must still resolve for the next client
+            _checked_gateway_compile(scenario, gateway, expected, report)
+        elif scenario.mode == "shard-down":
+            _shard_down_between_submit_and_poll(
+                scenario, gateway, expected, report
+            )
+        elif scenario.mode == "conn-reset":
             _reset_mid_frame(host, port, scenario)
             report.count("conn-reset")
             # the same job must still be resolvable afterwards
@@ -327,6 +365,154 @@ def _send_and_abandon(host: str, port: int, scenario: ChaosScenario) -> None:
     )
     with socket.create_connection((host, port), timeout=10.0) as sock:
         sock.sendall(frame)
+
+
+def _checked_gateway_compile(
+    scenario: ChaosScenario,
+    gateway: GatewayThread,
+    expected: Dict[str, dict],
+    report: ChaosReport,
+) -> None:
+    """One gateway request + the same lost-request/fingerprint oracles.
+
+    The job key the gateway hands back is the very key direct service
+    requests use, so gateway episodes feed the same ``expected`` map —
+    the cross-system parity oracle.
+    """
+    try:
+        with GatewayClient(*gateway.address) as client:
+            payload = client.compile(
+                timeout=30.0, workload=scenario.workload, **scenario.config
+            )
+    except GatewayError as exc:
+        if exc.code in GATEWAY_ERROR_CODES:
+            report.count(f"error:{exc.code}")
+        else:
+            report.violations.append(
+                f"scenario {scenario.describe()}: unknown gateway error "
+                f"code {exc.code!r}"
+            )
+        return
+    except (OSError, ConnectionError, TimeoutError) as exc:
+        report.violations.append(
+            f"scenario {scenario.describe()}: gateway request lost without "
+            f"a structured error ({type(exc).__name__}: {exc})"
+        )
+        return
+    if payload["status"] == "failed":
+        code = (payload.get("error") or {}).get("code")
+        if code in GATEWAY_ERROR_CODES:
+            report.count(f"error:{code}")
+        else:
+            report.violations.append(
+                f"scenario {scenario.describe()}: gateway job failed with "
+                f"unknown code {code!r}"
+            )
+        return
+    report.count("gateway-ok")
+    key = payload["id"]
+    fingerprint = payload["result"]["fingerprint"]
+    seen = expected.get(key)
+    if seen is None:
+        expected[key] = fingerprint
+    elif seen != fingerprint:
+        report.violations.append(
+            f"scenario {scenario.describe()}: gateway fingerprint diverged "
+            f"for key {key[:12]} — cache poisoned or nondeterminism"
+        )
+
+
+def _gateway_disconnect_mid_poll(
+    gateway: GatewayThread, scenario: ChaosScenario
+) -> None:
+    """Submit over HTTP, start a poll, then EOF without reading the reply."""
+    with GatewayClient(*gateway.address) as client:
+        payload = client.submit(workload=scenario.workload, **scenario.config)
+    key = payload["id"]
+    request = (
+        f"GET /v1/jobs/{key} HTTP/1.1\r\n"
+        f"Host: chaos\r\nConnection: keep-alive\r\n\r\n"
+    ).encode("ascii")
+    with socket.create_connection(gateway.address, timeout=10.0) as sock:
+        # half the poll request, then vanish mid-exchange
+        sock.sendall(request[: len(request) // 2])
+
+
+def _shard_down_between_submit_and_poll(
+    scenario: ChaosScenario,
+    gateway: GatewayThread,
+    expected: Dict[str, dict],
+    report: ChaosReport,
+) -> None:
+    """Kill the shard that owns the job after submit, before the poll.
+
+    The contract: the poll must reach a terminal verdict — either the
+    router remapped the job to the surviving shard (transparent retry)
+    or the job failed with a structured code.  A hang or a torn result
+    is a violation.
+    """
+    key = expected_fingerprint(scenario.workload, scenario.config)
+    target = int(key[:16], 16) % 2
+    try:
+        with GatewayClient(*gateway.address) as client:
+            submitted = client.submit(
+                workload=scenario.workload, **scenario.config
+            )
+            gateway.kill_shard(target)
+            payload = client.wait(submitted["id"], timeout=30.0)
+    except (GatewayError, OSError, ConnectionError, TimeoutError) as exc:
+        report.violations.append(
+            f"scenario {scenario.describe()}: shard-down poll died "
+            f"({type(exc).__name__}: {exc})"
+        )
+        gateway.revive_shard(target)
+        _await_healthy_shards(gateway)
+        return
+    report.count("shard-down")
+    if payload["status"] == "failed":
+        code = (payload.get("error") or {}).get("code")
+        if code not in GATEWAY_ERROR_CODES:
+            report.violations.append(
+                f"scenario {scenario.describe()}: shard-down failed with "
+                f"unknown code {code!r}"
+            )
+    else:
+        fingerprint = payload["result"]["fingerprint"]
+        seen = expected.get(payload["id"])
+        if seen is None:
+            expected[payload["id"]] = fingerprint
+        elif seen != fingerprint:
+            report.violations.append(
+                f"scenario {scenario.describe()}: shard-down fingerprint "
+                f"diverged for key {payload['id'][:12]}"
+            )
+    gateway.revive_shard(target)
+    _await_healthy_shards(gateway)
+    # the fleet must be whole again and the key resolvable end-to-end
+    _checked_gateway_compile(scenario, gateway, expected, report)
+
+
+def _await_healthy_shards(
+    gateway: GatewayThread, count: int = 2, timeout: float = 10.0
+) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with GatewayClient(*gateway.address) as client:
+                shards = client.stats()["shards"]
+        except (GatewayError, OSError, ConnectionError):
+            shards = []
+        if sum(1 for shard in shards if shard["healthy"]) >= count:
+            return
+        time.sleep(0.05)
+
+
+def _gateway_alive(gateway: GatewayThread) -> bool:
+    try:
+        with GatewayClient(*gateway.address) as probe:
+            return bool(probe.ping().get("ok"))
+    except (GatewayError, OSError, ConnectionError):
+        return False
 
 
 def _check_truncation_quarantined(

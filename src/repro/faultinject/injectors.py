@@ -120,6 +120,10 @@ class ScriptedDiskFaults(FaultInjector):
             self._fail_reads = fail_reads
             self._fail_writes = fail_writes
             self._truncate_writes = truncate_writes
+            # a truncation belongs to the scenario that armed it — a stale
+            # path from an earlier episode may have been legitimately
+            # re-stored (good bytes) by a retry since
+            self.last_truncated = None
 
     def disarm(self) -> None:
         self.arm()

@@ -37,6 +37,8 @@ CHAOS_MODES: Tuple[Tuple[str, int], ...] = (
     ("abandon", 10),  # client sends a request and vanishes
     ("peer-reset", 10),  # cache peer resets the connection mid-frame
     ("peer-torn", 10),  # cache peer serves a torn remote entry
+    ("gateway-disconnect", 5),  # HTTP client EOFs mid-poll on the gateway
+    ("shard-down", 5),  # backend shard dies between submit and poll
 )
 
 

@@ -1,0 +1,65 @@
+"""Multi-tenant HTTP/WebSocket gateway over the sharded compile fleet.
+
+The front door the ROADMAP's production story needs: API-key tenants,
+token-bucket admission, an async job model whose job ids *are* the sweep
+layer's content-addressed cache keys, a crash-safe SQLite job store, and
+key-hash sharding across N backend compile services that all share one
+cache peer.  See ``docs/architecture.md`` ("Gateway & multi-tenancy").
+"""
+
+from .auth import ANONYMOUS_TENANT, Keyring, TokenBucket
+from .client import GatewayClient, GatewayError
+from .cluster import GatewayCluster
+from .http11 import (
+    DEFAULT_HEADER_TIMEOUT,
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    MAX_REQUEST_LINE,
+    HttpError,
+    Request,
+)
+from .jobstore import DONE, FAILED, JobRecord, JobStore, StoreCrash
+from .metrics import GatewayMetrics
+from .server import (
+    DEFAULT_GATEWAY_PORT,
+    E_NO_SHARDS,
+    E_NOT_FOUND,
+    E_RATE_LIMITED,
+    E_UNAUTHORIZED,
+    GATEWAY_ERROR_CODES,
+    Gateway,
+    GatewayThread,
+)
+from .shards import NoShardsError, Shard, ShardRouter
+
+__all__ = [
+    "ANONYMOUS_TENANT",
+    "DEFAULT_GATEWAY_PORT",
+    "DEFAULT_HEADER_TIMEOUT",
+    "DONE",
+    "E_NO_SHARDS",
+    "E_NOT_FOUND",
+    "E_RATE_LIMITED",
+    "E_UNAUTHORIZED",
+    "FAILED",
+    "GATEWAY_ERROR_CODES",
+    "Gateway",
+    "GatewayClient",
+    "GatewayCluster",
+    "GatewayError",
+    "GatewayMetrics",
+    "GatewayThread",
+    "HttpError",
+    "JobRecord",
+    "JobStore",
+    "Keyring",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_REQUEST_LINE",
+    "NoShardsError",
+    "Request",
+    "Shard",
+    "ShardRouter",
+    "StoreCrash",
+    "TokenBucket",
+]

@@ -1,0 +1,109 @@
+"""Tenant identity and per-tenant token-bucket rate limiting.
+
+The gateway's identity layer is deliberately small: an API key maps to a
+tenant name, keys are compared in constant time, and every admission
+decision (including the 429 ``Retry-After`` hint) comes from one
+:class:`TokenBucket` per tenant with an injectable clock — tests drive it
+with a fake clock and never sleep.
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+#: tenant assigned when the gateway runs without a key file (open mode).
+ANONYMOUS_TENANT = "anonymous"
+
+
+class Keyring:
+    """API key -> tenant mapping loaded from a key file.
+
+    The file format is one ``tenant:key`` pair per line; blank lines and
+    ``#`` comments are ignored.  A gateway constructed with ``None``
+    instead of a keyring runs open (every request is the anonymous
+    tenant) — that mode is for dev loops and tests, not deployments.
+    """
+
+    def __init__(self, keys: Dict[str, str]) -> None:
+        if not keys:
+            raise ValueError("keyring needs at least one key")
+        self._tenants_by_key = dict(keys)
+
+    @classmethod
+    def load(cls, path) -> "Keyring":
+        keys: Dict[str, str] = {}
+        for lineno, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tenant, sep, key = line.partition(":")
+            if not sep or not tenant.strip() or not key.strip():
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'tenant:key', got {line!r}"
+                )
+            keys[key.strip()] = tenant.strip()
+        return cls(keys)
+
+    def __len__(self) -> int:
+        return len(self._tenants_by_key)
+
+    def tenant_for(self, presented: Optional[str]) -> Optional[str]:
+        """The tenant owning ``presented``, or None for unknown/missing.
+
+        Every stored key is compared with :func:`hmac.compare_digest`,
+        and all keys are always scanned, so the comparison leaks neither
+        content nor which key almost matched.
+        """
+        if not presented:
+            return None
+        match: Optional[str] = None
+        for key, tenant in self._tenants_by_key.items():
+            if hmac.compare_digest(key.encode(), presented.encode()):
+                match = tenant
+        return match
+
+
+class TokenBucket:
+    """Per-tenant token buckets: ``rate`` tokens/second, ``burst`` deep.
+
+    Each tenant owns an independent bucket, so one greedy tenant drains
+    only its own allowance and can never starve the others — the
+    fairness property the concurrency herd tests pin down.  ``acquire``
+    never blocks: it either spends a token or answers with the seconds
+    until one is available (the 429 ``Retry-After`` value).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, Tuple[float, float]] = {}  # tenant -> (tokens, stamp)
+
+    def acquire(self, tenant: str) -> Tuple[bool, float]:
+        """Try to spend one token; returns ``(allowed, retry_after_s)``."""
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[tenant] = (tokens - 1.0, now)
+            return True, 0.0
+        self._buckets[tenant] = (tokens, now)
+        return False, (1.0 - tokens) / self.rate
+
+    def tokens(self, tenant: str) -> float:
+        """Current token balance (for stats; refreshed to now)."""
+        now = self._clock()
+        tokens, stamp = self._buckets.get(tenant, (self.burst, now))
+        return min(self.burst, tokens + (now - stamp) * self.rate)

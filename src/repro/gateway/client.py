@@ -1,0 +1,256 @@
+"""Synchronous HTTP/WebSocket client for the gateway.
+
+What tests, the chaos harness, the bench and the CLI demo use to talk to
+a running gateway.  HTTP requests ride stdlib :mod:`http.client` (one
+keep-alive connection, rebuilt on drop); the WebSocket side is a tiny
+RFC 6455 client over a raw socket reusing the gateway's own frame codec.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import struct
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .http11 import WS_CLOSE, WS_TEXT, encode_ws_frame
+
+
+class GatewayError(RuntimeError):
+    """A structured error response from the gateway.
+
+    Attributes:
+        status: the HTTP status code.
+        code: the stable machine-readable error code.
+        retry_after: parsed ``Retry-After`` header seconds, when present.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+
+class GatewayClient:
+    """Blocking gateway client, one request at a time.
+
+    Args:
+        host / port: the gateway address.
+        api_key: optional API key sent as ``Authorization: Bearer``.
+        timeout: socket timeout for connect and each response.
+        poll_interval: sleep between polls in :meth:`wait`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7790,
+        api_key: Optional[str] = None,
+        timeout: float = 120.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Connection": "keep-alive"}
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        return headers
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """One request/response; returns ``(status, decoded body)``.
+
+        Raises :class:`GatewayError` for structured error responses and
+        :class:`ConnectionError` when the gateway hangs up mid-exchange.
+        """
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        payload = None if body is None else json.dumps(body)
+        try:
+            self._conn.request(method, path, payload, self._headers())
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError) as exc:
+            self.close()
+            raise ConnectionError(f"gateway connection failed: {exc}") from exc
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        if not decoded.get("ok"):
+            error = decoded.get("error") or {}
+            retry_after_text = response.headers.get("Retry-After")
+            raise GatewayError(
+                response.status,
+                error.get("code", "internal"),
+                error.get("message", "unknown gateway error"),
+                retry_after=(
+                    float(retry_after_text) if retry_after_text else None
+                ),
+            )
+        return response.status, decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------
+
+    def submit(
+        self,
+        workload: Optional[str] = None,
+        qasm_source: Optional[str] = None,
+        optimize: bool = False,
+        full: bool = False,
+        **config: Any,
+    ) -> dict:
+        """``POST /v1/jobs``; returns the job payload (``id``, ``status``)."""
+        body: Dict[str, Any] = {}
+        if workload is not None:
+            body["workload"] = workload
+        if qasm_source is not None:
+            body["qasm"] = qasm_source
+        if config:
+            body["config"] = dict(config)
+        if optimize:
+            body["optimize"] = True
+        if full:
+            body["full"] = True
+        _, payload = self.request("POST", "/v1/jobs", body)
+        return payload
+
+    def get(self, key: str) -> dict:
+        """``GET /v1/jobs/<key>``."""
+        _, payload = self.request("GET", f"/v1/jobs/{key}")
+        return payload
+
+    def wait(self, key: str, timeout: float = 120.0) -> dict:
+        """Poll ``key`` until it is terminal; returns the final payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.get(key)
+            if payload["status"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {key[:16]}... still {payload['status']!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(self.poll_interval)
+
+    def compile(self, timeout: float = 120.0, **submit_kwargs: Any) -> dict:
+        """Submit and wait; returns the terminal job payload."""
+        payload = self.submit(**submit_kwargs)
+        if payload["status"] in ("done", "failed"):
+            return payload
+        return self.wait(payload["id"], timeout=timeout)
+
+    def stats(self) -> dict:
+        _, payload = self.request("GET", "/v1/stats")
+        return payload
+
+    def ping(self) -> dict:
+        _, payload = self.request("GET", "/v1/ping")
+        return payload
+
+    # -- WebSocket ----------------------------------------------------------
+
+    def watch(self, key: str, timeout: float = 120.0) -> List[dict]:
+        """Stream ``key``'s status over a WebSocket until terminal.
+
+        Returns every status frame received, in order (the last one is
+        terminal).  Opens a dedicated connection; the HTTP connection is
+        untouched.
+        """
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout
+        )
+        try:
+            ws_key = "x3JJHMbDL1EzLkh9GBhXDw=="  # static nonce is fine here
+            lines = [
+                "GET /v1/ws HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                "Upgrade: websocket",
+                "Connection: Upgrade",
+                f"Sec-WebSocket-Key: {ws_key}",
+                "Sec-WebSocket-Version: 13",
+            ]
+            if self.api_key:
+                lines.append(f"Authorization: Bearer {self.api_key}")
+            sock.sendall(("\r\n".join(lines) + "\r\n\r\n").encode("ascii"))
+            reader = sock.makefile("rb")
+            status_line = reader.readline().decode("ascii", "replace")
+            if " 101 " not in status_line:
+                raise ConnectionError(
+                    f"WebSocket upgrade refused: {status_line.strip()}"
+                )
+            while reader.readline() not in (b"\r\n", b"\n", b""):
+                pass  # drain the 101 response headers
+            sock.sendall(
+                encode_ws_frame(
+                    json.dumps({"watch": key}).encode(),
+                    WS_TEXT,
+                    mask=os.urandom(4),
+                )
+            )
+            frames: List[dict] = []
+            while True:
+                payload = _read_frame(reader)
+                if payload is None:
+                    return frames
+                frame = json.loads(payload.decode("utf-8"))
+                frames.append(frame)
+                if not frame.get("ok") or frame.get("status") in (
+                    "done",
+                    "failed",
+                ):
+                    sock.sendall(
+                        encode_ws_frame(b"", WS_CLOSE, mask=os.urandom(4))
+                    )
+                    return frames
+        finally:
+            sock.close()
+
+
+def _read_frame(reader) -> Optional[bytes]:
+    """One server->client frame's payload; None on close/EOF."""
+    head = reader.read(2)
+    if len(head) < 2:
+        return None
+    b0, b1 = head
+    if (b0 & 0x0F) == WS_CLOSE:
+        return None
+    length = b1 & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", reader.read(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", reader.read(8))
+    return reader.read(length)

@@ -1,0 +1,327 @@
+"""Hand-rolled HTTP/1.1 and WebSocket framing for the gateway.
+
+The gateway speaks plain HTTP/1.1 over asyncio streams the same way the
+compile service speaks newline-JSON: a small, explicit codec with hard
+byte bounds and stable error codes, no ``http.server`` and no external
+dependencies.  This module owns only the wire format — request parsing
+with slow-loris and oversize defenses, response rendering, and the RFC
+6455 WebSocket handshake/frame codec the job-status stream uses.  Policy
+(auth, rate limits, routing) lives in :mod:`repro.gateway.server`.
+
+Abuse bounds (all answered with a structured JSON error and a stable
+``code``, then the connection is closed):
+
+* request line longer than :data:`MAX_REQUEST_LINE` -> 400 ``bad-request``
+* header block longer than :data:`MAX_HEADER_BYTES` -> 431 ``headers-too-large``
+* body longer than :data:`MAX_BODY_BYTES` -> 413 ``payload-too-large``
+* a client dribbling bytes slower than the header timeout (slow loris)
+  -> 408 ``request-timeout``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: maximum request-line length (method + path + version).
+MAX_REQUEST_LINE = 8 * 1024
+
+#: maximum total header bytes per request.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: maximum request body bytes (QASM sources can be large; same bound as
+#: the line protocol's MAX_LINE_BYTES).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: seconds a client gets to deliver the complete head (request line +
+#: headers) and, separately, the complete body — the slow-loris bound.
+DEFAULT_HEADER_TIMEOUT = 10.0
+
+#: the RFC 6455 handshake GUID.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes the gateway uses.
+WS_TEXT = 0x1
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the gateway rejects at the HTTP layer.
+
+    Carries the response status, a stable machine-readable ``code`` (the
+    gateway's closed error-code set lives in :mod:`repro.gateway.server`)
+    and optional extra response headers (e.g. ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.header("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The body parsed as one JSON object (400 ``bad-request`` otherwise)."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(
+                400, "bad-request", f"body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise HttpError(400, "bad-request", "body must be a JSON object")
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    header_timeout: float = DEFAULT_HEADER_TIMEOUT,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read and parse one request; None on a clean EOF between requests.
+
+    Raises :class:`HttpError` on every malformed or abusive frame; the
+    caller answers it and closes the connection.  The timeout covers the
+    whole head and, separately, the whole body — a client trickling one
+    byte per second (slow loris) is cut off with 408 instead of pinning
+    the connection handler forever.
+    """
+    try:
+        head = await asyncio.wait_for(
+            _read_head(reader), timeout=header_timeout
+        )
+    except asyncio.TimeoutError:
+        raise HttpError(
+            408, "request-timeout", "request head not received in time"
+        ) from None
+    if head is None:
+        return None
+    method, path, headers = head
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(
+                400, "bad-request", "invalid Content-Length"
+            ) from None
+        if length < 0:
+            raise HttpError(400, "bad-request", "invalid Content-Length")
+        if length > max_body:
+            raise HttpError(
+                413,
+                "payload-too-large",
+                f"body of {length} bytes exceeds the {max_body}-byte bound",
+            )
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=header_timeout
+            )
+        except asyncio.IncompleteReadError:
+            return None  # client hung up mid-body: nothing to answer
+        except asyncio.TimeoutError:
+            raise HttpError(
+                408, "request-timeout", "request body not received in time"
+            ) from None
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str]]]:
+    """Read the request line + header block; None on EOF before any byte."""
+    line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if line is None:
+        return None
+    try:
+        method, path, version = line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "bad-request", "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad-request", f"unsupported version {version!r}")
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        header = await _read_line(reader, MAX_HEADER_BYTES, "header line")
+        if header is None:
+            return None  # EOF inside the header block
+        if header == "":
+            break
+        total += len(header)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(
+                431, "headers-too-large", "header block exceeds the byte bound"
+            )
+        name, sep, value = header.partition(":")
+        if not sep:
+            raise HttpError(400, "bad-request", "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, headers
+
+
+async def _read_line(
+    reader: asyncio.StreamReader, limit: int, what: str
+) -> Optional[str]:
+    """One CRLF (or LF) terminated line as text; None on immediate EOF."""
+    try:
+        raw = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raw = exc.partial
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "bad-request", f"{what} too long") from None
+    if len(raw) > limit:
+        status, code = (
+            (431, "headers-too-large") if what == "header line"
+            else (400, "bad-request")
+        )
+        raise HttpError(status, code, f"{what} too long")
+    try:
+        return raw.rstrip(b"\r\n").decode("ascii")
+    except UnicodeDecodeError:
+        raise HttpError(400, "bad-request", f"{what} is not ASCII") from None
+
+
+def render_response(
+    status: int,
+    payload: Optional[dict] = None,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response to its wire form."""
+    body = b""
+    if payload is not None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def error_body(code: str, message: str) -> dict:
+    """The JSON body of every gateway error response."""
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+# -- WebSocket (RFC 6455) ------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The Sec-WebSocket-Accept value for a handshake ``key``."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def websocket_handshake(request: Request) -> bytes:
+    """The 101 response bytes upgrading ``request``, or raise 400."""
+    if request.header("upgrade").lower() != "websocket":
+        raise HttpError(400, "bad-request", "not a WebSocket upgrade request")
+    key = request.header("sec-websocket-key")
+    if not key:
+        raise HttpError(400, "bad-request", "missing Sec-WebSocket-Key")
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def encode_ws_frame(
+    payload: bytes, opcode: int = WS_TEXT, mask: Optional[bytes] = None
+) -> bytes:
+    """One WebSocket frame (FIN set).  Servers send unmasked; clients
+    must pass a 4-byte ``mask``."""
+    head = bytes([0x80 | opcode])
+    mask_bit = 0x80 if mask is not None else 0
+    length = len(payload)
+    if length < 126:
+        head += bytes([mask_bit | length])
+    elif length < 1 << 16:
+        head += bytes([mask_bit | 126]) + struct.pack(">H", length)
+    else:
+        head += bytes([mask_bit | 127]) + struct.pack(">Q", length)
+    if mask is None:
+        return head + payload
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return head + mask + masked
+
+
+async def read_ws_frame(
+    reader: asyncio.StreamReader, max_payload: int = MAX_BODY_BYTES
+) -> Tuple[int, bytes]:
+    """Read one frame, unmasking if needed; returns ``(opcode, payload)``.
+
+    Raises :class:`ConnectionError` on EOF mid-frame and
+    :class:`HttpError` (400) on an over-long payload.
+    """
+    try:
+        b0, b1 = await reader.readexactly(2)
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > max_payload:
+            raise HttpError(400, "bad-request", "WebSocket frame too large")
+        mask = await reader.readexactly(4) if b1 & 0x80 else None
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError("WebSocket peer hung up mid-frame") from exc
+    if mask is not None:
+        payload = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return b0 & 0x0F, payload

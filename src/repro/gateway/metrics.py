@@ -1,0 +1,80 @@
+"""Per-tenant gateway counters and latency percentiles for ``/v1/stats``.
+
+The gateway reports three layers: admission (accepted / rate-limited /
+rejected per tenant), outcome (completed / failed, warm hits that cost
+zero compilations), and latency (p50/p99 over a sliding window, reusing
+the service layer's :class:`~repro.service.batcher.LatencyWindow`).
+Per-shard dispatch counts come from the router, job totals from the
+store; this module owns only what the gateway process itself observes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict
+
+from ..service.batcher import LatencyWindow
+
+
+class TenantCounters:
+    """Admission and outcome counters for one tenant."""
+
+    __slots__ = (
+        "accepted",
+        "rate_limited",
+        "shed",
+        "completed",
+        "failed",
+        "warm_hits",
+    )
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.rate_limited = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.warm_hits = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class GatewayMetrics:
+    """Everything ``/v1/stats`` reports about this gateway process."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.connections = 0
+        self.requests = 0
+        self.ws_streams = 0
+        self.http_errors: Dict[str, int] = defaultdict(int)
+        self.tenants: Dict[str, TenantCounters] = defaultdict(TenantCounters)
+        self.latency = LatencyWindow()
+
+    def tenant(self, name: str) -> TenantCounters:
+        return self.tenants[name]
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.add(seconds)
+
+    def http_error(self, code: str) -> None:
+        self.http_errors[code] += 1
+
+    def snapshot(self) -> dict:
+        latency = self.latency.snapshot()
+        p99 = self.latency.percentile(0.99)
+        latency["p99_ms"] = None if p99 is None else round(p99 * 1000.0, 3)
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "connections": self.connections,
+            "requests": self.requests,
+            "ws_streams": self.ws_streams,
+            "http_errors": dict(sorted(self.http_errors.items())),
+            "tenants": {
+                name: counters.snapshot()
+                for name, counters in sorted(self.tenants.items())
+            },
+            "latency": latency,
+        }

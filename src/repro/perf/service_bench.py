@@ -16,7 +16,13 @@ behaviours that make the service worth running:
   still succeed (the supervised pool respawns workers and retries), and
   the phase reports the throughput cost of running under that failure
   rate plus a **recovery** leg showing warm throughput is intact after
-  the faults stop.
+  the faults stop;
+* **gateway** — a complete :class:`~repro.gateway.GatewayCluster` (two
+  backend shards behind the HTTP front door, one shared cache peer)
+  under mixed cold/warm multi-client load with rate limiting on:
+  sustained rps, shed rate, client p99, per-shard dispatch, and the
+  fingerprint of every fast-matrix case served through the gateway —
+  the committed fingerprints are what CI gates against drift.
 
 ``repro service-bench`` writes the numbers to ``BENCH_service.json`` —
 the committed copy is the service-layer perf trajectory, the same way
@@ -236,7 +242,228 @@ def _run_phases(
         if isinstance(server_stats.get("cache"), dict):
             server_stats["cache"].pop("dir", None)
         report["server"] = server_stats
+
+    # -- gateway phase: the full fleet behind the HTTP front door ----------
+    report["gateway"] = _gateway_phase(jobs, requests, clients, note)
     return report
+
+
+#: fresh gateway-phase combos — outside the fast matrix (and within the
+#: r <= 2k+2 layout bound of the tiny workloads), so they are the cold
+#: fraction of the mixed multi-client load.
+_GATEWAY_FRESH = [
+    (workload, routing_paths, 1)
+    for workload in ("ising_2d_2x2", "heisenberg_2d_2x2", "fermi_hubbard_2d_2x2")
+    for routing_paths in (5, 6)
+]
+
+#: gateway-phase admission knobs: generous enough that steady mixed load
+#: mostly passes, tight enough that the warm burst leg sheds.
+_GATEWAY_RATE = 150.0
+_GATEWAY_BURST = 50.0
+
+
+def _gateway_phase(jobs: int, requests: int, clients: int, note) -> dict:
+    """Mixed cold/warm multi-client load through a sharded gateway fleet."""
+    from ..gateway import GatewayClient, GatewayCluster, GatewayError
+
+    cases = bench_cases(fast=True)
+    with GatewayCluster(
+        shards=2,
+        jobs=jobs,
+        rate=_GATEWAY_RATE,
+        burst=_GATEWAY_BURST,
+        max_pending=64,
+    ) as cluster:
+        host, port = cluster.address
+        note(
+            f"gateway on {host}:{port} (2 shards x {jobs} worker(s), "
+            f"rate {_GATEWAY_RATE}/s burst {_GATEWAY_BURST})"
+        )
+
+        def patient(call, **kwargs):
+            # the correctness legs share the admission bucket with the
+            # mixed load; they wait the limiter out rather than counting
+            # sheds — only the mixed leg measures shedding
+            while True:
+                try:
+                    return call(**kwargs)
+                except GatewayError as exc:
+                    if exc.code not in ("rate-limited", "overloaded"):
+                        raise
+                    time.sleep(min(exc.retry_after or 0.05, 0.2))
+
+        # cold leg: the fast matrix once through the front door; these
+        # fingerprints are the committed drift gate
+        fingerprints: Dict[str, dict] = {}
+        cold_start = time.perf_counter()
+        with GatewayClient(host, port, poll_interval=0.005) as client:
+            for case in cases:
+                payload = patient(
+                    client.compile,
+                    workload=case.workload,
+                    routing_paths=case.routing_paths,
+                    num_factories=case.num_factories,
+                )
+                if payload["status"] != "done":
+                    raise RuntimeError(
+                        f"gateway cold case {case.key} ended "
+                        f"{payload['status']!r}: {payload.get('error')}"
+                    )
+                fingerprints[case.key] = payload["result"]["fingerprint"]
+        cold_wall = time.perf_counter() - cold_start
+
+        # mixed multi-client leg: warm fast-matrix repeats + fresh combos
+        per_client = max(1, requests // max(clients, 1))
+
+        def mixed_worker(worker_index: int):
+            import random as _random
+
+            rnd = _random.Random(1000 + worker_index)
+            shed = failures = completed = 0
+            with GatewayClient(host, port, poll_interval=0.005) as worker:
+                for _ in range(per_client):
+                    if rnd.random() < 0.2:
+                        workload, routing_paths, num_factories = rnd.choice(
+                            _GATEWAY_FRESH
+                        )
+                    else:
+                        case = rnd.choice(cases)
+                        workload = case.workload
+                        routing_paths = case.routing_paths
+                        num_factories = case.num_factories
+                    try:
+                        payload = worker.compile(
+                            workload=workload,
+                            routing_paths=routing_paths,
+                            num_factories=num_factories,
+                        )
+                    except GatewayError as exc:
+                        if exc.code in ("rate-limited", "overloaded"):
+                            shed += 1
+                            time.sleep(min(exc.retry_after or 0.02, 0.1))
+                        else:
+                            failures += 1
+                    else:
+                        if payload["status"] == "done":
+                            completed += 1
+                            seen = fingerprints.get(payload["id"])
+                            if (
+                                seen is not None
+                                and seen != payload["result"]["fingerprint"]
+                            ):
+                                failures += 1
+                        else:
+                            failures += 1
+            return shed, failures, completed
+
+        mixed_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            outcomes = list(pool.map(mixed_worker, range(clients)))
+        mixed_wall = time.perf_counter() - mixed_start
+        shed = sum(outcome[0] for outcome in outcomes)
+        failures = sum(outcome[1] for outcome in outcomes)
+        completed = sum(outcome[2] for outcome in outcomes)
+        attempts = shed + failures + completed
+
+        # resubmission leg: every fast-matrix key again — all must come
+        # back from the job store with zero new backend dispatches
+        with GatewayClient(host, port, poll_interval=0.005) as client:
+            before = [
+                entry["dispatched"]
+                for entry in client.stats()["shards"]
+            ]
+            for case in cases:
+                payload = patient(
+                    client.submit,
+                    workload=case.workload,
+                    routing_paths=case.routing_paths,
+                    num_factories=case.num_factories,
+                )
+                if payload["status"] != "done":
+                    raise RuntimeError(
+                        f"resubmitted case {case.key} not served from the "
+                        f"store (status {payload['status']!r})"
+                    )
+            stats = client.stats()
+            after = [entry["dispatched"] for entry in stats["shards"]]
+        if after != before:
+            raise RuntimeError(
+                f"resubmission dispatched to backends: {before} -> {after}"
+            )
+
+        latency = stats["gateway"]["latency"]
+        tenants = stats["gateway"]["tenants"]
+        phase = {
+            "shards": 2,
+            "cases": fingerprints,
+            "cold": {
+                "cases": len(cases),
+                "total_wall": round(cold_wall, 4),
+            },
+            "mixed": {
+                "clients": clients,
+                "requests": attempts,
+                "completed": completed,
+                "failures": failures,
+                "shed": shed,
+                "shed_rate": round(shed / attempts, 4) if attempts else 0.0,
+                "total_wall": round(mixed_wall, 4),
+                "rps": (
+                    round(completed / mixed_wall, 1) if mixed_wall else None
+                ),
+                "p50_ms": latency.get("p50_ms"),
+                "p99_ms": latency.get("p99_ms"),
+            },
+            "per_shard": [
+                {
+                    "shard": entry["shard"],
+                    "dispatched": entry["dispatched"],
+                    "healthy": entry["healthy"],
+                }
+                for entry in stats["shards"]
+            ],
+            "tenants": tenants,
+            "resubmit_zero_dispatch": True,
+        }
+    note(
+        f"gateway: {completed} completed of {attempts} submissions "
+        f"({phase['mixed']['rps']} req/s, shed rate "
+        f"{phase['mixed']['shed_rate']}, p99 {latency.get('p99_ms')}ms)"
+    )
+    if failures:
+        raise RuntimeError(
+            f"gateway phase lost {failures} request(s) without a "
+            "shed/rate-limit verdict"
+        )
+    return phase
+
+
+def gateway_baseline_mismatches(baseline: dict, report: dict) -> List[str]:
+    """Fingerprint drift between two reports' gateway phases.
+
+    Compares the ``gateway.cases`` fingerprints — the behavioural part of
+    the phase; throughput numbers are machine-dependent and not gated.
+    Returns human-readable mismatch lines (empty = no drift).
+    """
+    base_cases = (baseline.get("gateway") or {}).get("cases") or {}
+    current_cases = (report.get("gateway") or {}).get("cases") or {}
+    if not base_cases:
+        return ["baseline has no gateway phase (run `repro service-bench`)"]
+    mismatches: List[str] = []
+    for key in sorted(base_cases):
+        if key not in current_cases:
+            mismatches.append(f"{key}: missing from the current gateway phase")
+            continue
+        fields = set(base_cases[key]) | set(current_cases[key])
+        for field_name in sorted(fields):
+            want = base_cases[key].get(field_name)
+            got = current_cases[key].get(field_name)
+            if want != got:
+                mismatches.append(
+                    f"{key}: {field_name} {got!r} != baseline {want!r}"
+                )
+    return mismatches
 
 
 def _degraded_phase(host, port, service, kill_faults, note) -> dict:
@@ -363,5 +590,14 @@ def service_report_text(report: dict) -> str:
             f"(p95 {degraded['p95_ms']}ms, {degraded['failures']} failures, "
             f"{degraded['worker_restarts']} worker restarts); recovery "
             f"{degraded['recovery']['rps']} req/s",
+        )
+    gateway = report.get("gateway")
+    if gateway:
+        mixed = gateway["mixed"]
+        lines.append(
+            f"gate : {mixed['completed']}/{mixed['requests']} submissions "
+            f"through {gateway['shards']} shards = {mixed['rps']} req/s "
+            f"(shed rate {mixed['shed_rate']}, p99 {mixed['p99_ms']}ms), "
+            "resubmission served with 0 dispatches"
         )
     return "\n".join(lines)

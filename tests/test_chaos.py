@@ -56,7 +56,13 @@ class TestPlanner:
             elif scenario.mode == "peer-torn":
                 assert scenario.peer_corrupts == 1
             else:
-                assert scenario.mode in ("clean", "conn-reset", "abandon")
+                assert scenario.mode in (
+                    "clean",
+                    "conn-reset",
+                    "abandon",
+                    "gateway-disconnect",
+                    "shard-down",
+                )
 
 
 class TestWorkerFaultScript:
@@ -102,3 +108,20 @@ class TestCampaign:
         assert report.server_stats["pool"]["restarts"] >= 1
         # summary renders and carries the verdict
         assert "all invariants held" in report.summary()
+
+    def test_gateway_episodes_hold_invariants(self, tmp_path):
+        # seed 3's prefix fires gateway-disconnect at #0 and shard-down
+        # at #4, so a short campaign exercises both gateway modes
+        report = run_chaos(
+            seed=3,
+            scenarios=8,
+            jobs=2,
+            cache_dir=str(tmp_path / "cache"),
+            bench_baseline=None,
+        )
+        assert report.violations == []
+        assert report.ok
+        assert report.outcomes.get("gateway-disconnect", 0) >= 1
+        assert report.outcomes.get("shard-down", 0) >= 1
+        # every gateway episode resolved to a served, parity-checked job
+        assert report.outcomes.get("gateway-ok", 0) >= 2

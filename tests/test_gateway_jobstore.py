@@ -1,0 +1,250 @@
+"""Crash-safety property tests for the gateway job store.
+
+Every case drives :class:`JobStore` on a fake clock with the
+``faults.before_commit`` hook standing in for a process kill between the
+write and the ack.  The property under test: after any simulated crash,
+reopening the SQLite file shows each job either in its previous state or
+its next state — never torn (a ``done`` row always carries its result, a
+``failed`` row its error).  No real processes, no sleeps.
+"""
+
+import random
+
+import pytest
+
+from repro.gateway import JobStore, StoreCrash
+from repro.gateway.jobstore import DISPATCHED, DONE, FAILED, QUEUED
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class CrashOn:
+    """Fault hook that dies before the commit of selected operations."""
+
+    def __init__(self, *ops, after=0):
+        self.ops = set(ops)
+        self.after = after  # let this many matching commits through first
+        self.seen = 0
+
+    def before_commit(self, op, key):
+        if op in self.ops:
+            self.seen += 1
+            if self.seen > self.after:
+                raise StoreCrash(f"killed before {op}({key}) committed")
+
+
+def reopen(store, path, clock):
+    """Simulate the restart: drop the handle, open the same file fresh."""
+    store.close()
+    return JobStore(path, clock=clock)
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "jobs.sqlite")
+
+
+REQUEST = {"op": "compile", "workload": "ising_2d_2x2", "config": {}}
+
+
+class TestLifecycle:
+    def test_full_transition_chain(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        record = store.submit("k1", "alice", REQUEST)
+        assert record.status == QUEUED
+        assert record.request == REQUEST
+        assert not record.terminal
+
+        claimed = store.claim("k1")
+        assert claimed.status == DISPATCHED
+        assert claimed.attempts == 1
+
+        store.complete("k1", {"fingerprint": "abc", "total_time": 12})
+        final = store.get("k1")
+        assert final.status == DONE
+        assert final.terminal
+        assert final.result == {"fingerprint": "abc", "total_time": 12}
+        assert final.error is None
+        assert "result" in final.public()
+        store.close()
+
+    def test_submit_is_idempotent_per_state(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        store.submit("k1", "alice", REQUEST)
+        # re-submitting a queued job does not reset it
+        again = store.submit("k1", "alice", REQUEST)
+        assert again.status == QUEUED
+        store.claim("k1")
+        # ...nor a dispatched one (the caller piggybacks on the dispatch)
+        again = store.submit("k1", "alice", REQUEST)
+        assert again.status == DISPATCHED
+        assert again.attempts == 1
+        store.complete("k1", {"fingerprint": "abc"})
+        # a done job is served back untouched: the zero-compile path
+        again = store.submit("k1", "alice", REQUEST)
+        assert again.status == DONE
+        assert again.result == {"fingerprint": "abc"}
+        # but the tenant ledger still counts every submission
+        assert store.tenants()["alice"]["submitted"] == 4
+        store.close()
+
+    def test_failed_key_requeues_on_resubmit(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        store.fail("k1", {"code": "no-shards", "message": "all down"})
+        assert store.get("k1").status == FAILED
+        revived = store.submit("k1", "alice", REQUEST)
+        assert revived.status == QUEUED
+        assert revived.error is None
+        assert revived.attempts == 0
+        store.close()
+
+    def test_claim_refuses_missing_and_terminal(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        assert store.claim("ghost") is None
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        store.complete("k1", {"fingerprint": "abc"})
+        assert store.claim("k1") is None
+        store.close()
+
+
+class TestCrashSafety:
+    def test_crash_before_submit_commit_leaves_no_row(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock, faults=CrashOn("submit"))
+        with pytest.raises(StoreCrash):
+            store.submit("k1", "alice", REQUEST)
+        store = reopen(store, db, clock)
+        # absent, not torn: the job never happened
+        assert store.get("k1") is None
+        assert store.tenants() == {}
+        store.close()
+
+    def test_crash_before_complete_commit_keeps_dispatched(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock, faults=CrashOn("complete"))
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        with pytest.raises(StoreCrash):
+            store.complete("k1", {"fingerprint": "abc"})
+        store = reopen(store, db, clock)
+        record = store.get("k1")
+        # previous state, result-free — never a done row missing its result
+        assert record.status == DISPATCHED
+        assert record.result is None
+        # and the restart replay set still contains it
+        assert [r.key for r in store.pending()] == ["k1"]
+        store.close()
+
+    def test_crash_before_fail_commit_keeps_dispatched(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock, faults=CrashOn("fail"))
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        with pytest.raises(StoreCrash):
+            store.fail("k1", {"code": "internal", "message": "boom"})
+        store = reopen(store, db, clock)
+        record = store.get("k1")
+        assert record.status == DISPATCHED
+        assert record.error is None
+        store.close()
+
+    def test_randomized_crash_schedule_never_tears(self, db):
+        """Drive a seeded schedule of transitions, crashing a random
+        subset; after every crash, reopen and check the invariant."""
+        rng = random.Random(0)
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        shadow = {}  # key -> last *committed* status we observed
+        for step in range(120):
+            key = f"k{rng.randrange(8)}"
+            op = rng.choice(("submit", "claim", "complete", "fail"))
+            crash = rng.random() < 0.3
+            store._faults = CrashOn(op) if crash else None
+            try:
+                if op == "submit":
+                    store.submit(key, "t", REQUEST)
+                elif op == "claim":
+                    store.claim(key)
+                elif op == "complete":
+                    store.complete(key, {"fingerprint": f"f{step}"})
+                else:
+                    store.fail(key, {"code": "internal", "message": "x"})
+            except StoreCrash:
+                store = reopen(store, db, clock)
+            # the invariant: no torn rows, ever
+            for record in map(store.get, shadow):
+                if record is None:
+                    continue
+                if record.status == DONE:
+                    assert record.result is not None
+                if record.status == FAILED:
+                    assert record.error is not None
+            record = store.get(key)
+            if record is not None:
+                shadow[key] = record.status
+        store.close()
+
+
+class TestRestartRecovery:
+    def test_pending_replays_oldest_first(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        store.submit("old", "t", REQUEST)
+        store.submit("mid", "t", REQUEST)
+        store.claim("mid")
+        store.submit("new", "t", REQUEST)
+        store.submit("finished", "t", REQUEST)
+        store.claim("finished")
+        store.complete("finished", {"fingerprint": "abc"})
+        store = reopen(store, db, clock)
+        assert [r.key for r in store.pending()] == ["old", "mid", "new"]
+        # a dispatched orphan can be re-claimed by the new process
+        assert store.claim("mid").attempts == 2
+        store.close()
+
+    def test_completed_jobs_survive_restart_with_zero_work(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        store.complete("k1", {"fingerprint": "abc"})
+        store = reopen(store, db, clock)
+        # resubmission after restart: answered terminal from the file,
+        # nothing pending, nothing claimable — zero compilations
+        record = store.submit("k1", "alice", REQUEST)
+        assert record.status == DONE
+        assert record.result == {"fingerprint": "abc"}
+        assert store.pending() == []
+        assert store.claim("k1") is None
+        counts = store.counts()
+        assert counts[DONE] == 1 and counts[QUEUED] == 0
+        store.close()
+
+    def test_tenant_ledger_survives_restart(self, db):
+        clock = FakeClock()
+        store = JobStore(db, clock=clock)
+        store.submit("k1", "alice", REQUEST)
+        store.claim("k1")
+        store.complete("k1", {"fingerprint": "abc"})
+        store.submit("k2", "bob", REQUEST)
+        store = reopen(store, db, clock)
+        ledger = store.tenants()
+        assert ledger["alice"]["submitted"] == 1
+        assert ledger["alice"]["completed"] == 1
+        assert ledger["bob"]["completed"] == 0
+        assert ledger["bob"]["first_seen"] <= ledger["bob"]["last_seen"]
+        store.close()

@@ -1,0 +1,192 @@
+"""Differential parity: the gateway versus direct compilation.
+
+The gateway's contract is that it changes *where* a compile runs, never
+*what* it produces: for every request the job id must be byte-identical
+to the content-addressed :func:`repro.sweep.job_key` a local compile
+would use, and the result fingerprint must match a direct
+:class:`FaultTolerantCompiler` run field-for-field.  The corpus comes
+from the fuzz scenario stream (filtered to configs expressible through
+the wire protocol's ``CONFIG_FIELDS``), and the property is checked on
+every serving path: cold, warm-hit, coalesced, resubmitted after a full
+cluster restart, and across both shards.
+"""
+
+import threading
+
+import pytest
+
+from repro.ir import qasm
+from repro.compiler.pipeline import FaultTolerantCompiler
+from repro.fuzz.generators import config_to_dict, generate_scenario
+from repro.gateway import GatewayClient, GatewayCluster
+from repro.service import protocol
+from repro.sweep import job_key
+
+SEED = 7
+CORPUS_SIZE = 6
+
+
+def build_corpus():
+    """Fuzz scenarios whose config the gateway wire protocol can express.
+
+    A scenario with a non-default distillation time needs an
+    ``instruction_set`` override, which is not one of the protocol's
+    ``CONFIG_FIELDS`` — those scenarios are the fuzzer's business, not
+    the gateway's, so the corpus filters them out.  Small circuits keep
+    the double compile (direct + backend) cheap.
+    """
+    corpus = []
+    index = 0
+    while len(corpus) < CORPUS_SIZE:
+        scenario = generate_scenario(SEED, index)
+        index += 1
+        if config_to_dict(scenario.config)["distill_time"] != 11.0:
+            continue
+        if scenario.circuit.num_qubits > 6:
+            continue
+        corpus.append(scenario)
+    return corpus
+
+
+CORPUS = build_corpus()
+
+
+def wire_form(scenario):
+    """The (qasm, config-overrides) pair a client would send."""
+    source = qasm.dumps(scenario.circuit)
+    overrides = {
+        field: getattr(scenario.config, field)
+        for field in protocol.CONFIG_FIELDS
+    }
+    return source, overrides
+
+
+def direct_compile(scenario):
+    """The local-compilation side of the differential: same QASM text the
+    gateway receives, parsed the same way, compiled in this process."""
+    source, _ = wire_form(scenario)
+    circuit = qasm.loads(source)
+    result = FaultTolerantCompiler(scenario.config).compile(circuit)
+    return job_key(circuit, scenario.config), result.fingerprint()
+
+
+DIRECT = {scenario.index: direct_compile(scenario) for scenario in CORPUS}
+
+
+def shard_dispatches(client):
+    """Per-shard dispatched counts, by shard index."""
+    stats = client.stats()
+    return {shard["shard"]: shard["dispatched"] for shard in stats["shards"]}
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("gateway-parity")
+    with GatewayCluster(shards=2, jobs=1, cache_dir=cache_dir) as fleet:
+        yield fleet
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    with GatewayClient(*cluster.address) as gateway_client:
+        yield gateway_client
+
+
+class TestParity:
+    def test_cold_path_matches_direct(self, client):
+        for scenario in CORPUS:
+            source, overrides = wire_form(scenario)
+            expected_key, expected_fingerprint = DIRECT[scenario.index]
+            payload = client.compile(qasm_source=source, **overrides)
+            assert payload["status"] == "done", payload
+            # the job id IS the sweep layer's content-addressed key
+            assert payload["id"] == expected_key
+            assert payload["result"]["key"] == expected_key
+            assert payload["result"]["fingerprint"] == expected_fingerprint
+
+    def test_warm_hit_matches_direct_with_zero_dispatches(self, client):
+        before = shard_dispatches(client)
+        for scenario in CORPUS:
+            source, overrides = wire_form(scenario)
+            expected_key, expected_fingerprint = DIRECT[scenario.index]
+            payload = client.submit(qasm_source=source, **overrides)
+            # served terminal straight from the job store, no polling
+            assert payload["status"] == "done"
+            assert payload["id"] == expected_key
+            assert payload["result"]["fingerprint"] == expected_fingerprint
+        assert shard_dispatches(client) == before
+
+    def test_cross_shard_routing_is_key_hash(self, client):
+        """Each corpus key landed on exactly the shard its hash names."""
+        expected = {0: 0, 1: 0}
+        for scenario in CORPUS:
+            key, _ = DIRECT[scenario.index]
+            expected[int(key[:16], 16) % 2] += 1
+        assert shard_dispatches(client) == expected
+
+    def test_coalesced_burst_matches_direct(self, cluster, client):
+        """A herd on one fresh key: one dispatch, identical results."""
+        scenario = CORPUS[0]
+        source, overrides = wire_form(scenario)
+        # a config not in the corpus, so the key is cold
+        overrides = dict(overrides, num_factories=overrides["num_factories"] + 1)
+        circuit = qasm.loads(source)
+        from repro.compiler.config import CompilerConfig
+
+        config = CompilerConfig(**overrides)
+        expected_key = job_key(circuit, config)
+        expected_fingerprint = (
+            FaultTolerantCompiler(config).compile(circuit).fingerprint()
+        )
+
+        before = shard_dispatches(client)
+        results, errors = [], []
+
+        def submit_and_wait():
+            try:
+                with GatewayClient(*cluster.address) as herd_client:
+                    results.append(
+                        herd_client.compile(qasm_source=source, **overrides)
+                    )
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        herd = [threading.Thread(target=submit_and_wait) for _ in range(8)]
+        for thread in herd:
+            thread.start()
+        for thread in herd:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == 8
+        for payload in results:
+            assert payload["status"] == "done"
+            assert payload["id"] == expected_key
+            assert payload["result"]["fingerprint"] == expected_fingerprint
+        # the whole herd cost exactly one dispatch across the fleet
+        after = shard_dispatches(client)
+        assert sum(after.values()) == sum(before.values()) + 1
+
+
+class TestRestartParity:
+    def test_resubmission_after_restart_is_free_and_identical(self, tmp_path):
+        scenario = CORPUS[1]
+        source, overrides = wire_form(scenario)
+        expected_key, expected_fingerprint = DIRECT[scenario.index]
+        cache_dir = tmp_path / "fleet-state"
+
+        with GatewayCluster(shards=2, jobs=1, cache_dir=cache_dir) as fleet:
+            with GatewayClient(*fleet.address) as gateway_client:
+                first = gateway_client.compile(qasm_source=source, **overrides)
+        assert first["status"] == "done"
+        assert first["id"] == expected_key
+
+        # same state directory, brand-new cluster: the SQLite job store
+        # answers the resubmission terminal, with zero dispatches
+        with GatewayCluster(shards=2, jobs=1, cache_dir=cache_dir) as fleet:
+            with GatewayClient(*fleet.address) as gateway_client:
+                again = gateway_client.submit(qasm_source=source, **overrides)
+                dispatches = shard_dispatches(gateway_client)
+        assert again["status"] == "done"
+        assert again["id"] == expected_key
+        assert again["result"]["fingerprint"] == expected_fingerprint
+        assert sum(dispatches.values()) == 0

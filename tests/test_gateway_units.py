@@ -1,0 +1,253 @@
+"""Unit tests for the gateway's wire layer and identity layer.
+
+Everything here runs without a server: the HTTP/1.1 parser is driven by
+feeding bytes straight into an ``asyncio.StreamReader``, the WebSocket
+codec round-trips frames in memory, and the token bucket runs on a fake
+clock — no sockets, no sleeps.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import Keyring, TokenBucket
+from repro.gateway.http11 import (
+    HttpError,
+    MAX_BODY_BYTES,
+    WS_CLOSE,
+    WS_TEXT,
+    encode_ws_frame,
+    error_body,
+    read_request,
+    read_ws_frame,
+    render_response,
+    websocket_accept,
+    websocket_handshake,
+)
+from repro.gateway.http11 import Request
+
+
+def parse(data: bytes, **kwargs):
+    """Run ``read_request`` over a canned byte stream."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(_run())
+
+
+class TestHttpParser:
+    def test_round_trip(self):
+        request = parse(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: 9\r\n"
+            b"\r\n"
+            b'{"a": 1}\n'
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/jobs"
+        assert request.header("host") == "x"
+        assert request.json() == {"a": 1}
+        assert request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+        assert err.value.code == "bad-request"
+
+    def test_unsupported_version(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / SPDY/9\r\n\r\n")
+        assert err.value.code == "bad-request"
+
+    def test_header_without_colon(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
+        assert err.value.code == "bad-request"
+
+    def test_invalid_content_length(self):
+        for value in (b"banana", b"-5"):
+            with pytest.raises(HttpError) as err:
+                parse(
+                    b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+                )
+            assert err.value.code == "bad-request"
+
+    def test_oversized_body_rejected_by_declared_length(self):
+        declared = MAX_BODY_BYTES + 1
+        with pytest.raises(HttpError) as err:
+            parse(
+                f"POST / HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n".encode()
+            )
+        assert err.value.status == 413
+        assert err.value.code == "payload-too-large"
+
+    def test_oversized_header_block(self):
+        headers = b"".join(
+            b"X-Pad-%d: %s\r\n" % (i, b"y" * 1000) for i in range(40)
+        )
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert err.value.status == 431
+        assert err.value.code == "headers-too-large"
+
+    def test_slow_loris_times_out_with_408(self):
+        # a dribbling client: the head never completes within the timeout
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"GET / HT")  # ...and then silence
+            return await read_request(reader, header_timeout=0.05)
+
+        with pytest.raises(HttpError) as err:
+            asyncio.run(_run())
+        assert err.value.status == 408
+        assert err.value.code == "request-timeout"
+
+    def test_body_json_must_be_object(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 7\r\n\r\n[1,2,3]"
+        )
+        with pytest.raises(HttpError) as err:
+            request.json()
+        assert err.value.code == "bad-request"
+
+    def test_render_response_shape(self):
+        raw = render_response(200, {"ok": True}, keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Connection: close" in head
+        assert b'"ok": true' in body
+        assert error_body("x", "y")["error"]["code"] == "x"
+
+
+class TestWebSocket:
+    def test_accept_matches_rfc6455_vector(self):
+        # the worked example from RFC 6455 section 1.3
+        assert (
+            websocket_accept("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_handshake_requires_key(self):
+        request = Request(
+            method="GET",
+            path="/v1/ws",
+            headers={"upgrade": "websocket"},
+        )
+        with pytest.raises(HttpError):
+            websocket_handshake(request)
+
+    @pytest.mark.parametrize("size", [0, 5, 126, 70000])
+    def test_frame_round_trip_unmasked(self, size):
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(payload, WS_TEXT))
+            return await read_ws_frame(reader)
+
+        opcode, decoded = asyncio.run(_run())
+        assert opcode == WS_TEXT
+        assert decoded == payload
+
+    def test_frame_round_trip_masked(self):
+        payload = b"masked payload"
+
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode_ws_frame(payload, WS_TEXT, mask=b"\x01\x02\x03\x04")
+            )
+            return await read_ws_frame(reader)
+
+        opcode, decoded = asyncio.run(_run())
+        assert opcode == WS_TEXT
+        assert decoded == payload
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_ws_frame(b"abcdef", WS_CLOSE)[:3])
+            reader.feed_eof()
+            return await read_ws_frame(reader)
+
+        with pytest.raises(ConnectionError):
+            asyncio.run(_run())
+
+
+class TestKeyring:
+    def test_load_and_lookup(self, tmp_path):
+        path = tmp_path / "keys.txt"
+        path.write_text(
+            "# comment line\n"
+            "\n"
+            "alice: key-alice \n"
+            "bob:key-bob\n"
+        )
+        ring = Keyring.load(path)
+        assert len(ring) == 2
+        assert ring.tenant_for("key-alice") == "alice"
+        assert ring.tenant_for("key-bob") == "bob"
+        assert ring.tenant_for("key-mallory") is None
+        assert ring.tenant_for(None) is None
+        assert ring.tenant_for("") is None
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "keys.txt"
+        path.write_text("justakeynotenant\n")
+        with pytest.raises(ValueError):
+            Keyring.load(path)
+
+    def test_empty_keyring_rejected(self):
+        with pytest.raises(ValueError):
+            Keyring({})
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_on_fake_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: now[0])
+        # the full burst is available immediately...
+        assert [bucket.acquire("t")[0] for _ in range(3)] == [True] * 3
+        # ...then the bucket is dry, and Retry-After is exactly the time
+        # to the next token at 2 tokens/second
+        allowed, retry_after = bucket.acquire("t")
+        assert not allowed
+        assert retry_after == pytest.approx(0.5)
+        # half the wait: still dry, half the Retry-After
+        now[0] += 0.25
+        allowed, retry_after = bucket.acquire("t")
+        assert not allowed
+        assert retry_after == pytest.approx(0.25)
+        # a full second refills two tokens
+        now[0] += 1.0
+        assert bucket.acquire("t")[0]
+        assert bucket.acquire("t")[0]
+        assert not bucket.acquire("t")[0]
+
+    def test_buckets_are_per_tenant(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: now[0])
+        assert bucket.acquire("greedy")[0]
+        assert not bucket.acquire("greedy")[0]
+        # a different tenant's bucket is untouched
+        assert bucket.acquire("polite")[0]
+
+    def test_refill_caps_at_burst(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=lambda: now[0])
+        now[0] += 60.0
+        assert bucket.tokens("t") == pytest.approx(2.0)
