@@ -138,6 +138,29 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "(per-case and per-phase speedups; exit 1 on "
                                  "fingerprint drift) instead of running")
 
+    quality_cmd = sub.add_parser(
+        "quality-bench",
+        help="score schedule quality (makespan vs Eq. 2 bound, eviction "
+             "churn) per benchmark case and strategy",
+    )
+    quality_cmd.add_argument("--fast", action="store_true",
+                             help="smoke matrix (the CI gate) instead of the full suite")
+    quality_cmd.add_argument("--strategy", action="append", dest="strategies",
+                             help="repeatable strategy filter (default: all registered)")
+    quality_cmd.add_argument("--workload", action="append", dest="workloads",
+                             help="repeatable workload-name filter")
+    quality_cmd.add_argument("--jobs", "-j", type=int, default=1,
+                             help="worker processes (reports stay identical)")
+    quality_cmd.add_argument("--output", "-o", default=None,
+                             help="output JSON path (default BENCH_quality.json; '-' to skip)")
+    quality_cmd.add_argument("--baseline", default=None,
+                             help="gate against a previous BENCH_quality.json "
+                                  "(exit 1 on any quality regression; "
+                                  "improvements pass)")
+    quality_cmd.add_argument("--validate", action="store_true",
+                             help="replay-validate every compiled schedule "
+                                  "outside the timed region")
+
     serve_cmd = sub.add_parser(
         "serve", help="run the TCP compile service (JSON lines, see repro.service)"
     )
@@ -501,6 +524,64 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_quality_bench(args) -> int:
+    import json
+
+    from .perf.quality_bench import (
+        BENCH_QUALITY_FILENAME,
+        compare_quality,
+        quality_regressions,
+        run_quality_bench,
+    )
+
+    baseline = None
+    if args.baseline:
+        # read before the run so --output may overwrite the baseline file
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+    try:
+        report = run_quality_bench(
+            fast=args.fast,
+            strategies=args.strategies,
+            workloads=args.workloads,
+            validate=args.validate,
+            jobs=args.jobs,
+            progress=print,
+        )
+    except ValidationError as exc:
+        print(exc.report.summary())
+        print("error: schedule failed replay validation")
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print()
+    print(report.to_text())
+    if args.validate:
+        rows = sum(len(v) for v in report.cases.values())
+        print(f"[verify] {rows} schedule(s) replay-validated, 0 violations")
+    output = args.output if args.output is not None else BENCH_QUALITY_FILENAME
+    if output != "-":
+        report.write(output)
+        print(f"wrote {output}")
+    if baseline is not None:
+        print()
+        for line in compare_quality(baseline, report):
+            print(line)
+        regressions = quality_regressions(baseline, report)
+        if regressions:
+            for line in regressions:
+                print(f"error: {line}")
+            print("error: schedule quality regressed vs baseline")
+            return 1
+        print("quality gate: no regressions vs baseline")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     cache = None if args.no_cache else CompileCache(args.cache_dir)
     try:
@@ -729,6 +810,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "quality-bench":
+        return _cmd_quality_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "fuzz":

@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..arch.factory import FactoryConfig
 from ..arch.instruction_set import InstructionSet
+from ..strategies import STRATEGY_NAMES
 from ..synthesis.clifford_t import SynthesisModel
 
 
@@ -32,6 +33,11 @@ class CompilerConfig:
             Results are bit-identical across backends, so this knob never
             participates in sweep cache keys (see
             :func:`repro.sweep.jobs.config_fingerprint`).
+        strategy: placement/delivery strategy (see :mod:`repro.strategies`).
+            "default" reproduces the historical scheduler choices;
+            "balanced" balances cumulative moves per qubit.  Unlike
+            ``backend`` this changes the compiled schedule, so it **does**
+            participate in ``config_fingerprint`` and every cache key.
     """
 
     routing_paths: int = 4
@@ -44,6 +50,7 @@ class CompilerConfig:
     eliminate_redundant_moves: bool = True
     compute_unit_cost_time: bool = False
     backend: str = "auto"
+    strategy: str = "default"
 
     def __post_init__(self) -> None:
         if self.routing_paths < 1:
@@ -54,6 +61,11 @@ class CompilerConfig:
             raise ValueError(f"unknown mapping strategy {self.mapping!r}")
         if self.backend not in ("auto", "pure", "numpy"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"known: {', '.join(STRATEGY_NAMES)}"
+            )
 
     def factory_config(self) -> FactoryConfig:
         """Resolved distillation parameters."""

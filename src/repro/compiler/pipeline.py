@@ -23,8 +23,8 @@ from ..ir.properties import profile
 from ..perf.profiler import phase
 from ..scheduling.resim import optimize_schedule
 from ..scheduling.scheduler import LatticeSurgeryScheduler
+from ..strategies import get_strategy
 from .config import CompilerConfig
-from .mapping import choose_mapping
 from .result import CompilationResult
 
 
@@ -75,11 +75,13 @@ class FaultTolerantCompiler:
             validate = env_forced()
         with phase("pipeline.mapping"):
             layout = layout or self.build_layout(circuit)
-            placement = choose_mapping(circuit, layout, config.mapping)
+            placement = get_strategy(config.strategy).initial_placement(
+                circuit, layout, config
+            )
             ports = assign_factory_ports(layout, config.num_factories)
 
         with phase("pipeline.schedule"):
-            schedule, stats, dag = self._run_schedule(
+            schedule, stats, aux_stats, dag = self._run_schedule(
                 circuit, layout, placement, ports, config.instruction_set
             )
         # The raw-stage pass only adds information when the Sec. V-D
@@ -95,7 +97,7 @@ class FaultTolerantCompiler:
         unit_time = None
         if config.compute_unit_cost_time:
             with phase("pipeline.unit_cost"):
-                unit_schedule, _, _ = self._run_schedule(
+                unit_schedule, _, _, _ = self._run_schedule(
                     circuit, layout, placement, ports, InstructionSet.unit()
                 )
                 if config.eliminate_redundant_moves:
@@ -122,6 +124,7 @@ class FaultTolerantCompiler:
             lower_bound=bound,
             elimination=elimination,
             stats=stats,
+            aux_stats=aux_stats,
         )
         if validate:
             from ..verify import raise_if_invalid, validate_result
@@ -148,6 +151,10 @@ class FaultTolerantCompiler:
         )
 
     def _run_schedule(self, circuit, layout, placement, ports, isa):
+        # A fresh strategy instance per schedule run: strategies hold
+        # per-run mutable state (move ledgers) that must not leak between
+        # the realistic and unit-cost passes.
+        strategy = get_strategy(self.config.strategy)
         scheduler = LatticeSurgeryScheduler(
             grid=layout.grid,
             instruction_set=isa,
@@ -155,9 +162,12 @@ class FaultTolerantCompiler:
             factory_config=self.config.factory_config(),
             synthesis=self.config.synthesis,
             lookahead=self.config.lookahead,
+            strategy=strategy,
         )
         schedule = scheduler.run(circuit, placement)
-        return schedule, scheduler.stats.as_dict(), scheduler._dag
+        aux = scheduler.stats.aux_dict()
+        aux.update(strategy.aux_stats())
+        return schedule, scheduler.stats.as_dict(), aux, scheduler._dag
 
 
 def compile_circuit(

@@ -33,6 +33,10 @@ class CompilationResult:
         lower_bound: Eq. 2 distillation bound for this configuration.
         elimination: redundant-move pass report (None when disabled).
         stats: raw scheduler counters.
+        aux_stats: diagnostic counters (eviction causes, restore-cycle
+            breaks, strategy ledgers, ...).  Serialized and reported but
+            deliberately NOT part of :meth:`fingerprint` — new diagnostics
+            must never invalidate baselines or cache entries.
     """
 
     schedule: Schedule
@@ -46,6 +50,7 @@ class CompilationResult:
     lower_bound: float
     elimination: Optional[EliminationReport] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    aux_stats: Dict[str, float] = field(default_factory=dict)
 
     # -- qubit accounting -------------------------------------------------------
 
@@ -131,6 +136,7 @@ class CompilationResult:
                 None if self.elimination is None else asdict(self.elimination)
             ),
             "stats": dict(self.stats),
+            "aux_stats": dict(self.aux_stats),
         }
 
     @classmethod
@@ -156,6 +162,7 @@ class CompilationResult:
                 None if elimination is None else EliminationReport(**elimination)
             ),
             stats=dict(data.get("stats", {})),
+            aux_stats=dict(data.get("aux_stats", {})),
         )
 
     def summary(self) -> str:

@@ -23,6 +23,16 @@ Circuit families (the ``kind`` axis):
     A rotating set of hand-shaped extremes: single-gate programs,
     barrier-only programs, swap chains, rotation ladders on one qubit,
     maximally and minimally provisioned layouts.
+``qaoa-layers``
+    QAOA ansätze over random problem graphs
+    (:func:`repro.workloads.random_programs.random_qaoa_layers`) — the
+    same qubit pairs contend for alignment every layer, the repeated
+    -interaction pressure flat streams never produce.
+``structured``
+    Real algorithm instances at fuzz-able sizes: QFT up to 12 wires,
+    CDKM adders, shift-add multipliers and QASMBench-shaped ripple
+    ladders at several depth scales — deeper and wider than the
+    edge-case family, with the DAG shapes of lowered production code.
 
 Scenarios serialise to a self-contained JSON dict (QASM text + config
 knobs) — the same form the repro artifacts and the committed regression
@@ -51,16 +61,19 @@ from ..ir.circuit import Circuit
 from ..workloads.random_programs import (
     ROTATION_ANGLES,
     random_mixed_stream,
+    random_qaoa_layers,
     random_rotation_layers,
 )
 from .rng import FuzzRng, scenario_rng
 
 #: scenario kinds with their generation weights (out of the sum).
 KIND_WEIGHTS = (
-    ("clifford-t", 40),
-    ("rotation-layers", 25),
-    ("qasm-roundtrip", 20),
+    ("clifford-t", 30),
+    ("rotation-layers", 20),
+    ("qasm-roundtrip", 15),
     ("edge-case", 15),
+    ("qaoa-layers", 10),
+    ("structured", 10),
 )
 
 KINDS = tuple(kind for kind, _ in KIND_WEIGHTS)
@@ -75,6 +88,7 @@ CONFIG_KEYS = (
     "lookahead",
     "eliminate_redundant_moves",
     "compute_unit_cost_time",
+    "strategy",
 )
 
 #: distillation times the fuzzer samples (d units; 11.0 is the paper value).
@@ -164,13 +178,23 @@ def config_from_dict(data: Dict[str, Any]) -> CompilerConfig:
 
 
 def scenario_key(circuit: Circuit, config: CompilerConfig) -> str:
-    """SHA-256 content address over the QASM text and the config knobs."""
+    """SHA-256 content address over the QASM text and the config knobs.
+
+    Only knobs that *differ from the CompilerConfig defaults* enter the
+    hash: a config field added later (with a default) then leaves every
+    existing corpus key unchanged, so committed artifacts keep their
+    identity as CONFIG_KEYS grows.
+    """
+    defaults = config_to_dict(CompilerConfig())
+    knobs = {
+        key: value
+        for key, value in config_to_dict(config).items()
+        if value != defaults[key]
+    }
     digest = hashlib.sha256()
     digest.update(qasm.dumps(circuit).encode())
     digest.update(b"\0")
-    digest.update(
-        json.dumps(config_to_dict(config), sort_keys=True).encode()
-    )
+    digest.update(json.dumps(knobs, sort_keys=True).encode())
     return digest.hexdigest()
 
 
@@ -230,6 +254,7 @@ def sample_config(rng: FuzzRng, num_qubits: int) -> CompilerConfig:
         "lookahead": rng.random() < 0.8,
         "eliminate_redundant_moves": rng.random() < 0.8,
         "compute_unit_cost_time": rng.random() < 0.05,
+        "strategy": rng.weighted_choice(("default", "balanced"), (60, 40)),
     }
     distill = rng.choice(DISTILL_TIMES)
     if distill != 11.0:
@@ -290,6 +315,38 @@ def _edge_case_circuit(rng: FuzzRng, num_qubits: int) -> Circuit:
     return qc
 
 
+def _qaoa_circuit(rng: FuzzRng, num_qubits: int) -> Circuit:
+    return random_qaoa_layers(
+        num_qubits,
+        num_layers=rng.randint(1, 4),
+        seed=rng.randint(0, 2**31 - 1),
+        edge_fraction=rng.choice((0.2, 0.4, 0.6)),
+    )
+
+
+def _structured_circuit(rng: FuzzRng) -> Circuit:
+    """A real algorithm instance at fuzz-able size (deterministic in rng)."""
+    from ..workloads.arithmetic import cdkm_adder, shift_add_multiplier
+    from ..workloads.qasmbench import GateBudget, _ladder_circuit
+    from ..workloads.qft import qft
+
+    shape = rng.randint(0, 3)
+    if shape == 0:  # larger QFT instances than the edge-case family emits
+        return qft(rng.randint(6, 12), include_swaps=rng.random() < 0.3)
+    if shape == 1:  # CDKM adders: 2..4 bits -> 6..10 qubits
+        return cdkm_adder(rng.randint(2, 4))
+    if shape == 2:  # shift-add multipliers: 2..3 bits -> 9..13 qubits
+        return shift_add_multiplier(rng.randint(2, 3))
+    # QASMBench-shaped ripple ladder, depth-scaled (deeper than Table I's
+    # per-qubit density at scale 3).
+    scale = rng.randint(1, 3)
+    budget = GateBudget(rz=30 * scale, cx=24 * scale, sx=6 * scale, x=2 * scale)
+    num_qubits = rng.randint(5, 10)
+    return _ladder_circuit(
+        num_qubits, budget, name=f"fuzz_ladder_{num_qubits}q_x{scale}"
+    )
+
+
 def generate_scenario(seed: int, index: int) -> Scenario:
     """Scenario ``index`` of the stream for ``seed`` (pure, prefix-stable)."""
     rng = scenario_rng(seed, index)
@@ -310,6 +367,12 @@ def generate_scenario(seed: int, index: int) -> Scenario:
         )
         circuit = qasm.loads(qasm.dumps(inner), name=inner.name)
         via_qasm = True
+    elif kind == "qaoa-layers":
+        circuit = _qaoa_circuit(rng, num_qubits)
+    elif kind == "structured":
+        # structured families fix their own register width
+        circuit = _structured_circuit(rng)
+        num_qubits = circuit.num_qubits
     else:
         circuit = _edge_case_circuit(rng, num_qubits)
     config = sample_config(rng, num_qubits)

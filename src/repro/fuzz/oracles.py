@@ -32,6 +32,12 @@ that keep the *same* oracle failing) and corpus bookkeeping.
     Two resolutions of the same scenario (serial recompile, worker
     payload, warm cache replay) carry identical fingerprints and
     schedules.
+``strategy-differential``
+    Every registered placement/delivery strategy compiles the scenario to
+    a *valid* schedule: replay-validated, at or above the Eq. 2 bound, at
+    or below the fully-serial ceiling, and deterministic across
+    recompiles.  Strategies may disagree on makespan — that is their
+    point — but never on correctness.
 """
 
 from __future__ import annotations
@@ -63,6 +69,7 @@ ORACLE_NAMES = (
     "serialization-roundtrip",
     "baseline-sanity",
     "determinism",
+    "strategy-differential",
 )
 
 
@@ -141,6 +148,7 @@ def check_scenario(
             )
         failures.extend(_check_disk_replay(scenario, result))
         failures.extend(_check_backend_parity(scenario, result))
+        failures.extend(_check_strategy_differential(scenario))
     return result, failures
 
 
@@ -195,6 +203,74 @@ def _check_backend_parity(
             )
         ]
     return compare_results(result, other, label="backend-parity")
+
+
+def _check_strategy_differential(scenario: Scenario) -> List[OracleFailure]:
+    """Compile under every *other* registered strategy and hold each one
+    to validity, the bound/ceiling envelope, and determinism.
+
+    The scenario's own strategy is already covered by the main oracle
+    bundle; this leg asserts the property the quality harness leans on —
+    that strategies are interchangeable on correctness and only ever
+    disagree on schedule quality.
+    """
+    from ..strategies import STRATEGY_NAMES
+
+    failures: List[OracleFailure] = []
+    for name in STRATEGY_NAMES:
+        if name == scenario.config.strategy:
+            continue
+        config = scenario.config.with_(strategy=name)
+        try:
+            result = FaultTolerantCompiler(config).compile(scenario.circuit)
+        except Exception as exc:  # noqa: BLE001 — a strategy-only crash is the finding
+            failures.append(
+                OracleFailure(
+                    "strategy-differential",
+                    f"strategy {name!r} crashed: {type(exc).__name__}: {exc}",
+                    details={"traceback": traceback.format_exc(limit=12)},
+                )
+            )
+            continue
+        report = validate_result(
+            result, scenario.circuit, config, label=f"{scenario.name}/{name}"
+        )
+        if not report.ok:
+            failures.append(
+                OracleFailure(
+                    "strategy-differential",
+                    f"strategy {name!r} schedule failed replay validation: "
+                    f"{report.summary(limit=3)}",
+                    details={"report": report.to_dict()},
+                )
+            )
+        if result.execution_time + EPS < result.lower_bound:
+            failures.append(
+                OracleFailure(
+                    "strategy-differential",
+                    f"strategy {name!r} makespan {result.execution_time} "
+                    f"beats the distillation bound {result.lower_bound}",
+                )
+            )
+        ceiling = pessimistic_serial_time(scenario.circuit, config, result.layout)
+        if result.execution_time > ceiling + EPS:
+            failures.append(
+                OracleFailure(
+                    "strategy-differential",
+                    f"strategy {name!r} makespan {result.execution_time} "
+                    f"exceeds the serial ceiling {ceiling}",
+                )
+            )
+        second = FaultTolerantCompiler(config).compile(scenario.circuit)
+        for failure in compare_results(result, second, label=f"strategy:{name}"):
+            failures.append(
+                OracleFailure(
+                    "strategy-differential",
+                    f"strategy {name!r} not deterministic: {failure.message}",
+                    details=failure.details,
+                )
+            )
+    return failures
 
 
 # -- individual oracles --------------------------------------------------------

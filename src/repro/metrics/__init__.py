@@ -13,6 +13,7 @@ from .spacetime import (
     cycles_per_instruction,
     geometric_mean,
     overhead_factor,
+    quality_denominator,
     qubit_reduction,
     spacetime_volume,
     spacetime_volume_per_op,
@@ -26,6 +27,7 @@ __all__ = [
     "cycles_per_instruction",
     "geometric_mean",
     "overhead_factor",
+    "quality_denominator",
     "qubit_reduction",
     "spacetime_volume",
     "spacetime_volume_per_op",

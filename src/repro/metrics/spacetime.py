@@ -25,11 +25,30 @@ def cycles_per_instruction(execution_time: float, num_operations: int) -> float:
     return execution_time / max(1, num_operations)
 
 
+def quality_denominator(lower_bound: float, floor: float = 1.0) -> float:
+    """A safe divisor for quality ratios built on the Eq. 2 bound.
+
+    Clifford-only circuits consume no magic states, so their distillation
+    lower bound is 0 — a degenerate denominator that used to make
+    :func:`overhead_factor` report a flat 1.0 regardless of how long the
+    schedule actually ran.  Quality tracking needs a *defined* ratio that
+    still moves when the schedule regresses, so degenerate bounds fall
+    back to ``floor`` (one code-cycle unit d by default): the ratio then
+    degrades gracefully to "time per d" instead of lying.
+    """
+    if floor <= 0:
+        raise ValueError("floor must be positive")
+    return lower_bound if lower_bound > 0 else floor
+
+
 def overhead_factor(execution_time: float, lower_bound: float) -> float:
-    """Execution time relative to the Eq. 2 distillation bound."""
-    if lower_bound <= 0:
-        return 1.0
-    return execution_time / lower_bound
+    """Execution time relative to the Eq. 2 distillation bound.
+
+    For degenerate (Clifford-only) bounds the denominator falls back to
+    :func:`quality_denominator`'s floor of 1 d, so the factor stays
+    proportional to execution time instead of pinning at 1.0.
+    """
+    return execution_time / quality_denominator(lower_bound)
 
 
 def qubit_reduction(ours: int, baseline: int) -> float:

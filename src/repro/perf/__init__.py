@@ -42,8 +42,17 @@ _CACHE_BENCH_EXPORTS = {
     "run_cache_bench",
     "write_cache_report",
 }
+_QUALITY_EXPORTS = {
+    "BENCH_QUALITY_FILENAME",
+    "QualityReport",
+    "compare_quality",
+    "quality_regressions",
+    "run_quality_bench",
+}
 
-__all__ = sorted(_BENCH_EXPORTS | _SERVICE_EXPORTS | _CACHE_BENCH_EXPORTS)
+__all__ = sorted(
+    _BENCH_EXPORTS | _SERVICE_EXPORTS | _CACHE_BENCH_EXPORTS | _QUALITY_EXPORTS
+)
 
 
 def __getattr__(name):
@@ -59,4 +68,8 @@ def __getattr__(name):
         from . import cache_bench
 
         return getattr(cache_bench, name)
+    if name in _QUALITY_EXPORTS:
+        from . import quality_bench
+
+        return getattr(quality_bench, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

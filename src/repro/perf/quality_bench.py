@@ -1,0 +1,251 @@
+"""Schedule-quality trajectory harness (``repro quality-bench``).
+
+:mod:`repro.perf.bench` answers "did the compiler get slower?" and gates
+CI on *behavioural drift* — any fingerprint change fails.  This module
+answers the orthogonal question "did the schedules get worse?" and gates
+CI on *quality regression* only: the committed ``BENCH_quality.json``
+records, per benchmark case and per placement/delivery strategy, how far
+each schedule sits above its Eq. 2 lower bound plus the eviction and
+displacement counters behind that gap.  A change that reroutes qubits
+differently but compiles equally tight schedules passes here (and must
+regenerate the perf baseline); a change that quietly inflates makespan or
+eviction churn fails here even if every test stays green.
+
+The quality ratio divides by :func:`repro.metrics.quality_denominator`,
+so Clifford-only cases (zero distillation bound) degrade gracefully to
+"time per d" instead of dividing by zero — see satellite note in
+``docs/architecture.md``.
+
+The gate is one-sided and compares shared (case, strategy) pairs only:
+a fast CI run may gate against a full-matrix baseline, and improvements
+never fail — they just mean the baseline should be regenerated to
+ratchet the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..compiler.config import CompilerConfig
+from ..compiler.pipeline import FaultTolerantCompiler
+from ..metrics.spacetime import quality_denominator
+from ..strategies import STRATEGY_NAMES
+from ..workloads import load_benchmark
+from .bench import BenchCase, bench_cases
+
+#: the committed quality-trajectory baseline, CI-gated.
+BENCH_QUALITY_FILENAME = "BENCH_quality.json"
+
+#: relative tolerance of the regression gate.  Compiles are deterministic,
+#: so any real regression exceeds this; the epsilon only absorbs float
+#: round-tripping through JSON.
+QUALITY_RTOL = 1e-9
+
+#: aux-stat counters copied into every quality row (0.0 when absent).
+_AUX_COUNTERS = (
+    "restores",
+    "restore_cycle_breaks",
+    "displacement_aborts",
+)
+
+
+@dataclass
+class QualityReport:
+    """Results of one quality-bench run.
+
+    ``cases`` maps ``case_key -> strategy_name -> row``; each row carries
+    the makespan, the Eq. 2 bound, the gated ``quality`` ratio and the
+    churn counters that explain it.
+    """
+
+    cases: Dict[str, Dict[str, dict]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"meta": self.meta, "cases": self.cases}
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        width = max((len(k) for k in self.cases), default=10)
+        lines = [
+            f"{'case'.ljust(width)}  {'strategy':>9}  {'makespan':>9}  "
+            f"{'bound':>8}  {'quality':>8}  {'evict':>6}  {'breaks':>6}"
+        ]
+        for key, per_strategy in self.cases.items():
+            for strategy, row in per_strategy.items():
+                lines.append(
+                    f"{key.ljust(width)}  {strategy:>9}  "
+                    f"{row['makespan']:>9.1f}  {row['lower_bound']:>8.1f}  "
+                    f"{row['quality']:>8.3f}  {row['evictions']:>6.0f}  "
+                    f"{row['restore_cycle_breaks']:>6.0f}"
+                )
+        return "\n".join(lines)
+
+
+def quality_report_from_dict(data: dict) -> QualityReport:
+    """Rehydrate a ``BENCH_quality.json`` payload."""
+    return QualityReport(
+        cases={k: dict(v) for k, v in data.get("cases", {}).items()},
+        meta=dict(data.get("meta", {})),
+    )
+
+
+def _quality_row(result, wall: float) -> dict:
+    aux = result.aux_stats
+    row = {
+        "wall": round(wall, 4),
+        "makespan": result.execution_time,
+        "lower_bound": result.lower_bound,
+        "quality": round(
+            result.execution_time / quality_denominator(result.lower_bound), 6
+        ),
+        "num_moves": result.schedule.num_moves,
+        "evictions": result.stats.get("evictions", 0.0),
+    }
+    for counter in _AUX_COUNTERS:
+        row[counter] = aux.get(counter, 0.0)
+    return row
+
+
+def _run_quality_case(
+    payload: Tuple[BenchCase, str, bool]
+) -> Tuple[str, str, dict]:
+    """One (case, strategy) compile; module-level for ``--jobs`` pickling."""
+    case, strategy, validate = payload
+    circuit = load_benchmark(case.workload)
+    config = CompilerConfig(
+        routing_paths=case.routing_paths,
+        num_factories=case.num_factories,
+        strategy=strategy,
+    )
+    start = time.perf_counter()
+    result = FaultTolerantCompiler(config).compile(circuit)
+    wall = time.perf_counter() - start
+    if validate:
+        # outside the timed region, same policy as the perf harness
+        from ..verify import raise_if_invalid, validate_result
+
+        raise_if_invalid(
+            validate_result(result, circuit, config, label=f"{case.key}/{strategy}")
+        )
+    return case.key, strategy, _quality_row(result, wall)
+
+
+def run_quality_bench(
+    fast: bool = False,
+    strategies: Optional[List[str]] = None,
+    workloads: Optional[List[str]] = None,
+    validate: bool = False,
+    jobs: int = 1,
+    progress=None,
+) -> QualityReport:
+    """Compile the benchmark matrix under every strategy and score quality.
+
+    Args:
+        fast: use the smoke matrix (the CI gate) instead of the full suite.
+        strategies: strategy names to exercise; default all registered.
+        workloads: optional workload-name filter.
+        validate: replay-validate every compiled schedule (outside the
+            timed region); raises on the first violation.
+        jobs: worker processes (compiles are deterministic, so parallelism
+            never changes the report body).
+        progress: optional callable invoked with a line per finished row.
+    """
+    names = list(strategies or STRATEGY_NAMES)
+    for name in names:
+        if name not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)}"
+            )
+    report = QualityReport(
+        meta={
+            "version": __version__,
+            "python": platform.python_version(),
+            "mode": "fast" if fast else "full",
+            "strategies": names,
+        }
+    )
+    if validate:
+        report.meta["validated"] = True
+    payloads = [
+        (case, strategy, validate)
+        for case in bench_cases(fast, workloads)
+        for strategy in names
+    ]
+    sweep_start = time.perf_counter()
+    if max(1, jobs) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads) or 1)) as pool:
+            rows = list(pool.map(_run_quality_case, payloads))
+    else:
+        rows = [_run_quality_case(p) for p in payloads]
+    for key, strategy, row in rows:
+        report.cases.setdefault(key, {})[strategy] = row
+        if progress is not None:
+            progress(
+                f"{key}/{strategy}: quality={row['quality']:.3f} "
+                f"evictions={row['evictions']:.0f}"
+            )
+    report.meta["sweep_wall"] = round(time.perf_counter() - sweep_start, 4)
+    return report
+
+
+def quality_regressions(baseline: dict, current: QualityReport) -> List[str]:
+    """One-sided regression check: shared (case, strategy) pairs only.
+
+    Returns one line per regression — a quality ratio above the baseline
+    beyond :data:`QUALITY_RTOL`.  Improvements and new rows never fail;
+    an empty list means the gate passes.
+    """
+    regressions: List[str] = []
+    base_cases = baseline.get("cases", {})
+    for key, per_strategy in current.cases.items():
+        base_strategies = base_cases.get(key)
+        if not base_strategies:
+            continue
+        for strategy, row in per_strategy.items():
+            base = base_strategies.get(strategy)
+            if base is None:
+                continue
+            allowed = base["quality"] * (1.0 + QUALITY_RTOL)
+            if row["quality"] > allowed:
+                regressions.append(
+                    f"{key}/{strategy}: quality regressed "
+                    f"{base['quality']:.6f} -> {row['quality']:.6f} "
+                    f"(makespan {base['makespan']} -> {row['makespan']})"
+                )
+    return regressions
+
+
+def compare_quality(baseline: dict, current: QualityReport) -> List[str]:
+    """Human-readable quality delta lines against a committed baseline."""
+    lines: List[str] = []
+    base_cases = baseline.get("cases", {})
+    for key, per_strategy in current.cases.items():
+        base_strategies = base_cases.get(key, {})
+        for strategy, row in per_strategy.items():
+            base = base_strategies.get(strategy)
+            if base is None:
+                lines.append(f"{key}/{strategy}: no baseline entry")
+                continue
+            dq = row["quality"] - base["quality"]
+            de = row["evictions"] - base["evictions"]
+            if dq == 0 and de == 0:
+                continue
+            lines.append(
+                f"{key}/{strategy}: quality {base['quality']:.3f} -> "
+                f"{row['quality']:.3f} ({dq:+.3f}), evictions "
+                f"{base['evictions']:.0f} -> {row['evictions']:.0f} ({de:+.0f})"
+            )
+    if not lines:
+        lines.append("quality: identical to baseline")
+    return lines

@@ -282,6 +282,7 @@ def plan_cnot_alignment(
     target: int,
     drift_goals: Optional[Sequence[Optional[Position]]] = None,
     _depth: int = 0,
+    prefer: Optional[str] = None,
 ) -> AlignmentPlan:
     """Minimum-move plan putting (control, target) into CNOT position.
 
@@ -296,6 +297,11 @@ def plan_cnot_alignment(
         control / target: program qubit ids.
         drift_goals: optional (control_goal, target_goal) look-ahead hints —
             positions of each operand's *next* partner.
+        prefer: which operand should move when target-moving and
+            control-moving plans tie on move count: "control", "target" or
+            None.  None keeps the historical tie-break (the target moves),
+            so existing schedules are bit-identical.  Strategy hook — see
+            :meth:`repro.strategies.base.Strategy.cnot_prefer`.
     """
     c_pos = grid.position_of(control)
     t_pos = grid.position_of(target)
@@ -304,20 +310,30 @@ def plan_cnot_alignment(
     if is_cnot_ready(grid, c_pos, t_pos):
         return AlignmentPlan((), c_pos, t_pos, cnot_ancilla_cell(c_pos, t_pos))
 
+    def pick(options: List[AlignmentPlan]) -> AlignmentPlan:
+        # min() is stable: on equal move counts the plan appended first
+        # wins.  ``prefer`` only reorders ties — a strictly cheaper plan
+        # always wins regardless of preference.
+        if prefer == "control" and len(options) == 2:
+            options = [options[1], options[0]]
+        return min(options, key=lambda p: p.num_moves)
+
     plans: List[AlignmentPlan] = []
     moved_target = _plan_single_mover(grid, target, t_pos, c_pos, True, t_goal)
     if moved_target:
-        if moved_target.num_moves == 1:
+        if moved_target.num_moves == 1 and prefer != "control":
             # Unbeatable: every plan needs at least one move and the final
             # min() breaks ties in favour of the target plan anyway, so the
-            # control-side search cannot change the answer.
+            # control-side search cannot change the answer.  (With a
+            # control preference a one-move control plan would tie and win,
+            # so the shortcut must not fire.)
             return moved_target
         plans.append(moved_target)
     moved_control = _plan_single_mover(grid, control, c_pos, t_pos, False, c_goal)
     if moved_control:
         plans.append(moved_control)
     if plans:
-        return min(plans, key=lambda p: p.num_moves)
+        return pick(plans)
 
     # Dense neighbourhood (solid data block): evict the occupants of a
     # diagonal slot and its ancilla cell, then slide one operand in.
@@ -332,7 +348,7 @@ def plan_cnot_alignment(
     if evicted:
         plans.append(evicted)
     if plans:
-        return min(plans, key=lambda p: p.num_moves)
+        return pick(plans)
 
     # Both operands boxed in: move the target toward the control along a
     # penalised path, then retry recursively on the what-if grid.  The
@@ -391,7 +407,9 @@ def plan_cnot_alignment(
         raise AlignmentError(f"qubits {control},{target} wedged (no partial path)")
     with grid.scratch() as scratch:
         apply_moves(scratch, moves)
-        tail = plan_cnot_alignment(scratch, control, target, drift_goals, _depth + 1)
+        tail = plan_cnot_alignment(
+            scratch, control, target, drift_goals, _depth + 1, prefer=prefer
+        )
     return AlignmentPlan(
         tuple(moves) + tail.moves, tail.control_pos, tail.target_pos, tail.ancilla
     )

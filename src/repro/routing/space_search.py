@@ -31,6 +31,24 @@ Move = Tuple[int, Position, Position]
 _MAX_EVAC_DEPTH = 3
 
 
+@dataclass
+class _Counters:
+    """Process-wide diagnostic counters for rare displacement outcomes.
+
+    ``abandoned_mover`` counts the defensive bail-out in
+    :func:`_walk_path_inner` where a displacement moved the escorted qubit
+    itself (the plan is abandoned and the scratch block rolled back, so the
+    grid stays consistent — but the event signals a chain push that swept
+    up the mover).  The scheduler snapshots this counter per run and
+    reports the delta as ``displacement_aborts`` in its aux stats.
+    """
+
+    abandoned_mover: int = 0
+
+
+COUNTERS = _Counters()
+
+
 @dataclass(frozen=True)
 class EvacuationPlan:
     """How to clear one cell next to a target qubit.
@@ -207,7 +225,11 @@ def _walk_path_inner(
                 return None
             moves.extend(displaced)
             if scratch.position_of(qubit) != current:
-                return None  # defensive: the displacement moved our mover
+                # Defensive: the displacement moved our mover (a chain push
+                # swept it up).  Abandon the plan; the caller's scratch
+                # block rolls everything back.
+                COUNTERS.abandoned_mover += 1
+                return None
         scratch.move(qubit, nxt)
         moves.append((qubit, current, nxt))
         current = nxt

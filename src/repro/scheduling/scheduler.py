@@ -39,6 +39,7 @@ from ..routing.dijkstra import (
     find_paths_to_all,
     reachable_free_cells,
 )
+from ..routing import space_search
 from ..routing.neighbor_moves import AlignmentError, plan_cnot_alignment
 from ..routing.space_search import (
     SpaceSearchError,
@@ -47,6 +48,7 @@ from ..routing.space_search import (
     _walk_path_inner,
     find_space,
 )
+from ..strategies import Strategy, get_strategy
 from ..synthesis.clifford_t import SynthesisModel
 from .events import Schedule, ScheduledOp
 
@@ -57,7 +59,14 @@ class SchedulingError(RuntimeError):
 
 @dataclass
 class SchedulerStats:
-    """Aggregate counters filled in during scheduling."""
+    """Aggregate counters filled in during scheduling.
+
+    The :meth:`as_dict` keys are part of every behavioural fingerprint
+    (``BENCH_routing.json``, the service responses, the cache/chaos drift
+    gates) — never add or rename them casually.  Diagnostic counters that
+    must not perturb fingerprints live in :meth:`aux_dict` instead and
+    surface as ``CompilationResult.aux_stats``.
+    """
 
     moves_planned: int = 0
     evictions: int = 0
@@ -65,6 +74,14 @@ class SchedulerStats:
     route_hops: int = 0
     route_stall_time: float = 0.0
     space_searches: int = 0
+    # -- diagnostic counters (aux_dict only; excluded from fingerprints) ----
+    eviction_causes: Dict[str, int] = field(default_factory=dict)
+    restores: int = 0
+    restore_cycle_breaks: int = 0
+    displacement_aborts: int = 0
+
+    def count_eviction(self, cause: str) -> None:
+        self.eviction_causes[cause] = self.eviction_causes.get(cause, 0) + 1
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -75,6 +92,17 @@ class SchedulerStats:
             "route_stall_time": self.route_stall_time,
             "space_searches": self.space_searches,
         }
+
+    def aux_dict(self) -> Dict[str, float]:
+        """Diagnostic counters: eviction attribution and churn control."""
+        aux: Dict[str, float] = {
+            f"evictions_{cause}": float(count)
+            for cause, count in sorted(self.eviction_causes.items())
+        }
+        aux["restores"] = float(self.restores)
+        aux["restore_cycle_breaks"] = float(self.restore_cycle_breaks)
+        aux["displacement_aborts"] = float(self.displacement_aborts)
+        return aux
 
 
 class LatticeSurgeryScheduler:
@@ -87,7 +115,22 @@ class LatticeSurgeryScheduler:
         factory_config: distillation timing/buffering parameters.
         synthesis: T-cost model for non-Clifford rotations.
         lookahead: enable gate-dependent drift goals (Sec. V-A).
+        strategy: placement/delivery strategy instance or registry name
+            (see :mod:`repro.strategies`); default reproduces the
+            historical behaviour bit-for-bit.
     """
+
+    #: evict/restore round-trips of one (qubit, origin) pair before the
+    #: restore is abandoned and the qubit stays at its refuge.  A pair
+    #: cycling this often is parked on a live delivery corridor and
+    #: restoring it only feeds the next eviction (the ising_2d_10x10 storm
+    #: restored one qubit onto the same route cell 107 times).  Tuned
+    #: empirically: low limits strand qubits on *future* routes and the
+    #: resulting delivery stalls cost more makespan than the churn saved
+    #: (limit 3: +280 d on ising_2d_10x10 despite -45 % evictions); 30
+    #: only clips the pathological tail and improves makespan AND
+    #: evictions together.
+    RESTORE_CYCLE_LIMIT = 30
 
     def __init__(
         self,
@@ -97,11 +140,15 @@ class LatticeSurgeryScheduler:
         factory_config: Optional[FactoryConfig] = None,
         synthesis: Optional[SynthesisModel] = None,
         lookahead: bool = True,
+        strategy: Optional[Strategy] = None,
     ) -> None:
         self._template_grid = grid
         self.isa = instruction_set
         self.synthesis = synthesis or SynthesisModel.single_t()
         self.lookahead = lookahead
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
+        self.strategy = strategy if strategy is not None else get_strategy("default")
         config = factory_config or FactoryConfig(distill_time=instruction_set.distill)
         self.bank = FactoryBank(list(factory_ports), config)
         # runtime state (reset per run)
@@ -129,6 +176,9 @@ class LatticeSurgeryScheduler:
             node = frontier.pop_best()
             self._schedule_node(node)
             frontier.complete(node.index)
+        self.stats.displacement_aborts = (
+            space_search.COUNTERS.abandoned_mover - self._displacement_base
+        )
         return self._schedule
 
     # -- internals --------------------------------------------------------------
@@ -154,6 +204,10 @@ class LatticeSurgeryScheduler:
         self._node_end = {}
         self._barrier_floor = 0.0
         self.stats = SchedulerStats()
+        # per-(qubit, origin) restore ledger for the churn cycle breaker
+        self._restore_counts: Dict[Tuple[int, Position], int] = {}
+        self._displacement_base = space_search.COUNTERS.abandoned_mover
+        self.strategy.begin_run(self)
 
     def _earliest_start(self, node: DagNode) -> float:
         """Earliest feasible start: when every operand qubit falls free."""
@@ -230,9 +284,12 @@ class LatticeSurgeryScheduler:
         cursor: float,
         kind: str = "move",
         gate_index: Optional[int] = None,
+        cause: Optional[str] = None,
     ) -> float:
         """Apply planned unit moves to the grid and the schedule, serially.
 
+        ``cause`` attributes evictions (kind == "evict") in the aux
+        counters: "route_clear", "port_squatter" or "space_search".
         Returns the completion time of the last move.
         """
         grid = self.grid
@@ -240,6 +297,7 @@ class LatticeSurgeryScheduler:
         cell_free = self._cell_free
         move_time = self.isa.move
         stats = self.stats
+        track = self.strategy.tracks_moves
         for qubit, origin, dest in moves:
             actual = grid.position_of(qubit)
             if actual != origin:
@@ -267,6 +325,9 @@ class LatticeSurgeryScheduler:
             stats.moves_planned += 1
             if kind == "evict":
                 stats.evictions += 1
+                stats.count_eviction(cause or "other")
+            if track and qubit != self._MAGIC_ID:
+                self.strategy.note_move(qubit, kind)
         return cursor
 
     def _restore_evictions(
@@ -283,7 +344,17 @@ class LatticeSurgeryScheduler:
         impossible (home cell re-occupied, e.g. by a deliberately moved
         CNOT operand) are skipped; inverse pairs that turn out to be
         unnecessary are cancelled later by the Sec. V-D pass.
+
+        Churn cycle breaker: a qubit whose origin sits on a live delivery
+        corridor gets evicted by every magic state passing through, and
+        restoring it re-arms the next eviction — the feedback loop behind
+        eviction storms on port-adjacent cells.  After
+        :data:`RESTORE_CYCLE_LIMIT` restores of the same (qubit, origin)
+        pair the restore is abandoned: the qubit keeps its refuge, the
+        corridor stays clear, and later gates (or the post-CNOT rehome)
+        relocate it on demand.
         """
+        track = self.strategy.tracks_moves
         for qubit, origin, dest in reversed(list(moves)):
             if qubit in exclude:
                 continue
@@ -293,6 +364,12 @@ class LatticeSurgeryScheduler:
                 continue
             if current != dest or self.grid.is_occupied(origin):
                 continue
+            pair = (qubit, origin)
+            cycles = self._restore_counts.get(pair, 0)
+            if cycles >= self.RESTORE_CYCLE_LIMIT:
+                self.stats.restore_cycle_breaks += 1
+                continue
+            self._restore_counts[pair] = cycles + 1
             start = self._qubit_free.get(qubit, 0.0)
             t = self._cell_free.get(origin, 0.0)
             if t > start:
@@ -303,6 +380,9 @@ class LatticeSurgeryScheduler:
                 self.isa.move, gate_index=gate_index,
             )
             self.stats.moves_planned += 1
+            self.stats.restores += 1
+            if track:
+                self.strategy.note_move(qubit, "restore")
 
     # -- per-gate handlers -------------------------------------------------------
 
@@ -350,12 +430,13 @@ class LatticeSurgeryScheduler:
             self.isa.duration(gate), gate_index=node.index,
         )
 
-    def _drift_goal(self, node: DagNode, qubit: int) -> Optional[Position]:
+    def _partner_drift_goal(self, node: DagNode, qubit: int) -> Optional[Position]:
         """Where ``qubit`` should drift: its next partner, else its home.
 
         This is the gate-dependent look-ahead of Fig. 4; the home-cell
         fallback keeps repeated alignments from marching the data block
-        toward one corner of the grid.
+        toward one corner of the grid.  The default strategy's drift
+        choice; others may rank destinations differently.
         """
         home = self._home.get(qubit)
         if not self.lookahead:
@@ -374,12 +455,16 @@ class LatticeSurgeryScheduler:
     @profiled("schedule.cnot")
     def _schedule_cnot(self, node: DagNode) -> None:
         control, target = node.gate.qubits
+        strategy = self.strategy
         goals = (
-            self._drift_goal(node, control),
-            self._drift_goal(node, target),
+            strategy.drift_goal(self, node, control),
+            strategy.drift_goal(self, node, target),
         )
+        prefer = strategy.cnot_prefer(self, control, target)
         try:
-            plan = plan_cnot_alignment(self.grid, control, target, goals)
+            plan = plan_cnot_alignment(
+                self.grid, control, target, goals, prefer=prefer
+            )
         except AlignmentError as exc:
             raise SchedulingError(f"CNOT({control},{target}) unalignable: {exc}") from exc
         cursor = max(
@@ -448,7 +533,8 @@ class LatticeSurgeryScheduler:
                 raise SchedulingError(f"no ancilla space for {node.gate}: {exc}") from exc
             self.stats.space_searches += 1
             cursor = self._execute_moves(plan.moves, cursor, kind="evict",
-                                         gate_index=node.index)
+                                         gate_index=node.index,
+                                         cause="space_search")
             ancilla = plan.freed_cell
         start = max(cursor, self._qubit_free.get(qubit, 0.0),
                     self._cells_ready((ancilla,)))
@@ -541,7 +627,7 @@ class LatticeSurgeryScheduler:
                 if path.cells not in seen:
                     seen.add(path.cells)
                     candidates.append(path)
-        for path in sorted(candidates, key=lambda p: p.cost):
+        for path in self.strategy.order_delivery(self, candidates):
             with self.grid.scratch() as scratch:
                 if scratch.is_occupied(port):
                     # A stray data qubit is resting on the delivery cell;
@@ -580,6 +666,8 @@ class LatticeSurgeryScheduler:
             return
         pos = self.grid.position_of(qubit)
         if pos == home or self.grid.is_occupied(home):
+            return
+        if not self.strategy.should_rehome(self, qubit, node):
             return
         nxt = self._dag.next_gate_on_qubit(node.index, qubit)
         if nxt is not None and nxt.gate.is_two_qubit:
@@ -675,7 +763,8 @@ class LatticeSurgeryScheduler:
             if moves is None:
                 continue
             return self._execute_moves(
-                moves, cursor, kind="evict", gate_index=node.index
+                moves, cursor, kind="evict", gate_index=node.index,
+                cause="port_squatter",
             )
         return cursor  # leave it; delivery will fail with its own error
 
@@ -703,7 +792,8 @@ class LatticeSurgeryScheduler:
                 ) from exc
             self.stats.space_searches += 1
             cursor = self._execute_moves(plan.moves, cursor, kind="evict",
-                                         gate_index=node.index)
+                                         gate_index=node.index,
+                                         cause="space_search")
             space_moves = list(plan.moves)
             goals = {plan.freed_cell}
 
@@ -728,7 +818,8 @@ class LatticeSurgeryScheduler:
                 if not goals:
                     plan = find_space(self.grid, pos)
                     cursor = self._execute_moves(plan.moves, cursor, kind="evict",
-                                                 gate_index=node.index)
+                                                 gate_index=node.index,
+                                                 cause="space_search")
                     space_moves += list(plan.moves)
                     goals = {plan.freed_cell}
                 drop, transit = self._route_magic_state(factory.port, qubit, goals)
@@ -771,7 +862,8 @@ class LatticeSurgeryScheduler:
                 self.stats.route_hops += 1
             else:
                 self._execute_moves(
-                    [move], 0.0, kind="evict", gate_index=node.index
+                    [move], 0.0, kind="evict", gate_index=node.index,
+                    cause="route_clear",
                 )
                 evictions.append(move)
 

@@ -94,6 +94,7 @@ CONFIG_FIELDS = (
     "lookahead",
     "eliminate_redundant_moves",
     "compute_unit_cost_time",
+    "strategy",
 )
 
 

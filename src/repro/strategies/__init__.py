@@ -1,0 +1,46 @@
+"""Pluggable placement and magic-state-delivery strategies.
+
+See :mod:`repro.strategies.base` for the contract.  The registry is the
+single source of the valid ``CompilerConfig.strategy`` values; adding a
+strategy here makes it reachable from the CLI, the sweep engine, the
+compile service and the gateway without further plumbing (the knob flows
+through ``config_fingerprint`` and every cache key).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .balanced import BalancedStrategy
+from .base import Strategy
+from .default import DefaultStrategy
+
+#: name -> class registry; insertion order is the documented order.
+STRATEGIES: Dict[str, Type[Strategy]] = {
+    DefaultStrategy.name: DefaultStrategy,
+    BalancedStrategy.name: BalancedStrategy,
+}
+
+#: the closed set of valid ``CompilerConfig.strategy`` values.
+STRATEGY_NAMES = tuple(STRATEGIES)
+
+
+def get_strategy(name: str) -> Strategy:
+    """A fresh strategy instance for ``name`` (one per compile run)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {', '.join(STRATEGY_NAMES)}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "BalancedStrategy",
+    "DefaultStrategy",
+    "STRATEGIES",
+    "STRATEGY_NAMES",
+    "Strategy",
+    "get_strategy",
+]

@@ -30,7 +30,9 @@ from ..compiler.config import CompilerConfig
 from ..ir.circuit import Circuit
 
 #: serialization-format version; part of every job key.
-CACHE_SCHEMA = 1
+#: 2: CompilationResult gained ``aux_stats``; older cached payloads would
+#: deserialize with empty diagnostics, so re-address them.
+CACHE_SCHEMA = 2
 
 
 @lru_cache(maxsize=1)

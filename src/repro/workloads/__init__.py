@@ -6,7 +6,11 @@ from .ghz import ghz_fanout, ghz_qasmbench
 from .heisenberg import heisenberg_1d, heisenberg_2d
 from .ising import ising_1d, ising_2d
 from .qasmbench import ADDER_N28, MULTIPLIER_N15, adder_n28, multiplier_n15
-from .random_programs import random_mixed_stream, random_rotation_layers
+from .random_programs import (
+    random_mixed_stream,
+    random_qaoa_layers,
+    random_rotation_layers,
+)
 from .registry import (
     CONDENSED_MATTER_SIDES,
     benchmark_names,
@@ -34,6 +38,7 @@ __all__ = [
     "multiplier_n15",
     "paper_table1_benchmarks",
     "random_mixed_stream",
+    "random_qaoa_layers",
     "random_rotation_layers",
     "shift_add_multiplier",
 ]

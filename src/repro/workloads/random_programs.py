@@ -15,6 +15,12 @@ versions (they draw from a local xorshift-style generator rather than
     PPR-style programs: alternating layers of single-qubit rotations and
     a brick pattern of entanglers, the shape Pauli-product-rotation
     pipelines (Litinski normal form) produce.
+``random_qaoa_layers``
+    QAOA ansätze over random problem graphs: per layer a cost block of
+    ZZ interactions (CX - Rz - CX) over the graph's edges followed by a
+    transverse mixer (Rx on every qubit).  The interaction graph — not
+    just the angles — varies with the seed, so delivery pressure and
+    CNOT congestion differ per instance.
 """
 
 from __future__ import annotations
@@ -165,6 +171,62 @@ def random_rotation_layers(
     return qc
 
 
+def random_qaoa_layers(
+    num_qubits: int,
+    num_layers: int,
+    seed: int = 0,
+    edge_fraction: float = 0.5,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A QAOA ansatz over a random problem graph.
+
+    Each layer applies the cost Hamiltonian — one ZZ interaction
+    (CX, Rz(gamma), CX) per edge of a seed-drawn graph — and then the
+    transverse-field mixer (Rx(beta) on every qubit).  The graph is
+    sampled once and shared by all layers, as in real QAOA: the same
+    qubit pairs contend for alignment every layer, which is exactly the
+    repeated-interaction pressure the benchmark suite's Trotter circuits
+    show and flat random streams do not.
+
+    Args:
+        num_qubits: register width (>= 2).
+        num_layers: QAOA depth p (cost + mixer repetitions).
+        seed: deterministic generator seed.
+        edge_fraction: fraction of all qubit pairs included as edges (at
+            least a spanning path is always kept so no qubit idles).
+        name: circuit name (defaults to a seed-derived one).
+    """
+    if num_qubits < 2:
+        raise ValueError("random programs need at least two qubits")
+    if num_layers < 0:
+        raise ValueError("negative layer count")
+    if not 0.0 <= edge_fraction <= 1.0:
+        raise ValueError("edge_fraction must lie in [0, 1]")
+    draw = _make_rng(seed ^ 0xA0A0)
+    qc = Circuit(
+        num_qubits, name=name or f"qaoa_{num_qubits}q_{num_layers}p_s{seed}"
+    )
+    # Problem graph: a spanning path (connectivity floor) plus extra pairs.
+    edges = [(q, q + 1) for q in range(num_qubits - 1)]
+    extra = [
+        (a, b)
+        for a in range(num_qubits)
+        for b in range(a + 2, num_qubits)
+    ]
+    threshold = int(edge_fraction * 1000)
+    edges.extend(pair for pair in extra if draw(1000) < threshold)
+    for _ in range(num_layers):
+        gamma = ROTATION_ANGLES[draw(len(ROTATION_ANGLES))]
+        for a, b in edges:
+            qc.cx(a, b)
+            qc.rz(gamma, b)
+            qc.cx(a, b)
+        beta = ROTATION_ANGLES[draw(len(ROTATION_ANGLES))]
+        for q in range(num_qubits):
+            qc.rx(beta, q)
+    return qc
+
+
 def family_names() -> List[str]:
     """The random program family identifiers (for docs and the fuzzer)."""
-    return ["mixed-stream", "rotation-layers"]
+    return ["mixed-stream", "rotation-layers", "qaoa-layers"]

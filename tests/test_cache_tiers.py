@@ -298,6 +298,53 @@ class TestTierInteractions:
         assert hit is not None and hit[1] == "memo"
 
 
+class TestStrategyIsolation:
+    """The ``strategy`` knob must partition every cache tier: unlike
+    ``backend`` it changes the compiled schedule, so a hit recorded under
+    one strategy must never be served to another."""
+
+    def test_job_key_distinguishes_strategies(self, compiled):
+        circuit, config, key, _ = compiled
+        assert job_key(circuit, config.with_(strategy="balanced")) != key
+        # while backend stays deliberately excluded from the key
+        assert job_key(circuit, config.with_(backend="pure")) == key
+
+    def test_config_fingerprint_includes_strategy(self, compiled):
+        from repro.sweep.jobs import config_fingerprint
+
+        _, config, *_ = compiled
+        assert config_fingerprint(config) != config_fingerprint(
+            config.with_(strategy="balanced")
+        )
+        assert config_fingerprint(config) == config_fingerprint(
+            config.with_(backend="numpy")
+        )
+
+    def test_no_tier_cross_serves_between_strategies(self, tmp_path, compiled):
+        """Warm memo, disk and remote under one strategy; the other
+        strategy must compile fresh through the full stack."""
+        circuit, config, _, _ = compiled
+        with CachePeerThread(cache=CompileCache(tmp_path / "peer")) as peer:
+            engine = SweepEngine(
+                cache=CompileCache(tmp_path / "local"),
+                remote=RemoteCache(*peer.address),
+            )
+            engine.compile(circuit, config)  # warms all three tiers
+            assert engine.counters.compiled == 1
+            engine.compile(circuit, config.with_(strategy="balanced"))
+            assert engine.counters.compiled == 2  # no tier answered
+            assert engine.counters.memo_hits == 0
+            tiers = engine.tier_stats()
+            assert tiers["disk"]["hits"] == 0
+            assert tiers["remote"]["hits"] == 0
+            # both entries now coexist: each strategy hits its own
+            engine.compile(circuit, config)
+            engine.compile(circuit, config.with_(strategy="balanced"))
+            assert engine.counters.compiled == 2
+            assert engine.counters.memo_hits == 2
+            engine.shutdown()
+
+
 class TestCacheBenchSmoke:
     def test_fast_cache_bench_warm_fleet_compiles_nothing(self):
         from repro.perf import run_cache_bench

@@ -8,6 +8,7 @@ from repro.metrics.spacetime import (
     cycles_per_instruction,
     geometric_mean,
     overhead_factor,
+    quality_denominator,
     qubit_reduction,
     spacetime_volume,
     spacetime_volume_per_op,
@@ -30,7 +31,20 @@ class TestSpacetime:
 
     def test_overhead_factor(self):
         assert overhead_factor(120.0, 100.0) == pytest.approx(1.2)
-        assert overhead_factor(120.0, 0.0) == 1.0
+
+    def test_overhead_factor_degenerate_bound(self):
+        # Clifford-only circuits have a zero distillation bound; the factor
+        # must stay proportional to execution time (divide by the 1 d
+        # floor), not pin at 1.0 and mask regressions.
+        assert overhead_factor(120.0, 0.0) == 120.0
+        assert overhead_factor(80.0, 0.0) < overhead_factor(120.0, 0.0)
+
+    def test_quality_denominator(self):
+        assert quality_denominator(100.0) == 100.0
+        assert quality_denominator(0.0) == 1.0
+        assert quality_denominator(-5.0, floor=2.0) == 2.0
+        with pytest.raises(ValueError):
+            quality_denominator(0.0, floor=0.0)
 
     def test_qubit_reduction(self):
         assert qubit_reduction(47, 100) == pytest.approx(0.53)

@@ -142,3 +142,48 @@ class TestClearRoute:
         moves = clear_route(grid, path)
         if moves is not None:
             assert all(m[2] != (0, 1) for m in moves)
+
+
+class TestAbandonedMover:
+    """Regression coverage for the defensive bail-out where a displacement
+    sweeps up the escorted qubit itself (a chain push entering the mover's
+    frozen cell).  The plan must be abandoned cleanly — grid untouched —
+    and the event must be visible through the module counter."""
+
+    def test_rogue_displacement_aborts_walk_and_counts(self, monkeypatch):
+        from repro.routing import space_search
+
+        def rogue_displace(grid, cell, banned, keep_off, depth=0):
+            # Behave like a buggy chain push: clear ``cell`` by dragging
+            # EVERY occupant (including the mover at its frozen cell) one
+            # column to the right.
+            moves = []
+            placed = sorted(
+                grid.placed_qubits().items(), key=lambda kv: -kv[1][1]
+            )  # rightmost first so each hop lands on a free cell
+            for qubit, origin in placed:
+                dest = (origin[0], origin[1] + 1)
+                grid.move(qubit, dest)
+                moves.append((qubit, origin, dest))
+            return moves
+
+        monkeypatch.setattr(space_search, "_displace_blocker", rogue_displace)
+        grid = Grid(3, 4)
+        grid.place(0, (0, 0))
+        grid.place(1, (0, 1))  # blocker on the route
+        path = Path(((0, 0), (0, 1), (0, 2)), cost=2.0, occupied_crossings=1)
+        before = space_search.COUNTERS.abandoned_mover
+        moves = _walk_path(grid, 0, path)
+        assert moves is None  # plan abandoned, not silently corrupted
+        assert space_search.COUNTERS.abandoned_mover == before + 1
+        # the scratch block rolled the rogue displacement back
+        assert grid.position_of(0) == (0, 0)
+        assert grid.position_of(1) == (0, 1)
+
+    def test_scheduler_reports_displacement_aborts(self):
+        """A clean compile reports a zero delta (and the counter key)."""
+        from repro.compiler.pipeline import compile_circuit
+        from repro.workloads import ising_2d
+
+        result = compile_circuit(ising_2d(2), routing_paths=3)
+        assert result.aux_stats["displacement_aborts"] == 0.0
